@@ -1,0 +1,67 @@
+// Shared table-rendering helpers for the per-table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/table.hpp"
+
+namespace mpass::bench {
+
+/// Finds a cell by (attack, target); aborts with a message if missing.
+inline const harness::CellStats& cell(
+    const std::vector<harness::CellStats>& cells, std::string_view attack,
+    std::string_view target) {
+  for (const harness::CellStats& c : cells)
+    if (c.attack == attack && c.target == target) return c;
+  std::fprintf(stderr, "missing cell %s x %s\n", std::string(attack).c_str(),
+               std::string(target).c_str());
+  std::abort();
+}
+
+/// Prints one paper-style table: rows = targets, columns = attacks,
+/// metric picked by the selector.
+template <typename Selector>
+void print_grid(const std::string& title,
+                const std::vector<harness::CellStats>& cells,
+                const std::vector<std::string>& targets,
+                const std::vector<std::string>& attacks, Selector metric,
+                int decimals = 1) {
+  util::Table table(title);
+  std::vector<std::string> header = {"Models"};
+  header.insert(header.end(), attacks.begin(), attacks.end());
+  table.header(header);
+  for (const std::string& t : targets) {
+    std::vector<std::string> row = {t};
+    for (const std::string& a : attacks)
+      row.push_back(util::Table::num(metric(cell(cells, a, t)), decimals));
+    table.row(row);
+  }
+  std::cout << table.render() << std::flush;
+}
+
+inline std::vector<std::string> offline_targets() {
+  return {"MalConv", "NonNeg", "LightGBM", "MalGCG"};
+}
+
+inline std::vector<std::string> av_targets() {
+  return {"AV1", "AV2", "AV3", "AV4", "AV5"};
+}
+
+inline std::vector<std::string> main_attacks() {
+  return {"MPass", "RLA", "MAB", "GAMMA", "MalRNN"};
+}
+
+/// Exports a grid to results/<key>.csv next to the cache dir.
+inline void export_results_csv(std::string_view key,
+                               const std::vector<harness::CellStats>& cells) {
+  const auto path = util::cache_dir() / "results" /
+                    (std::string(key) + ".csv");
+  harness::export_csv(path, cells);
+  std::fprintf(stderr, "[csv] wrote %s\n", path.string().c_str());
+}
+
+}  // namespace mpass::bench

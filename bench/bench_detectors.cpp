@@ -1,0 +1,53 @@
+// Detector quality report: held-out accuracy/AUC/TPR/FPR of the four
+// offline models and the five AV simulators, plus the GBDT's most important
+// features. Not a paper artifact per se, but the paper's experiments only
+// make sense against competent detectors -- this bench documents them.
+#include "bench_common.hpp"
+#include "detectors/features.hpp"
+
+int main() {
+  using namespace mpass;
+  detect::ModelZoo& zoo = detect::ModelZoo::instance();
+
+  util::Table table("Detector quality on the held-out test set");
+  table.header({"Detector", "accuracy", "AUC", "TPR", "FPR", "threshold"});
+  for (detect::Detector* d : zoo.offline()) {
+    const detect::EvalReport r = zoo.eval_offline(d->name());
+    table.row({std::string(d->name()), util::Table::num(r.accuracy, 3),
+               util::Table::num(r.auc, 3), util::Table::num(r.tpr, 3),
+               util::Table::num(r.fpr, 3), util::Table::num(d->threshold(), 3)});
+  }
+  for (const auto& av : zoo.avs()) {
+    const detect::EvalReport r = detect::evaluate(*av, zoo.test());
+    table.row({std::string(av->name()), util::Table::num(r.accuracy, 3),
+               util::Table::num(r.auc, 3), util::Table::num(r.tpr, 3),
+               util::Table::num(r.fpr, 3),
+               util::Table::num(av->threshold(), 3)});
+  }
+  std::cout << table.render();
+
+  // Top GBDT features by split count.
+  auto& gbm =
+      dynamic_cast<detect::GbdtDetector&>(zoo.offline_by_name("LightGBM"));
+  const auto importance =
+      gbm.gbdt().feature_importance(detect::feature_dim());
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t i = 0; i < importance.size(); ++i)
+    if (importance[i] > 0) ranked.emplace_back(importance[i], i);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const auto names = detect::parsed_feature_names();
+  std::printf("top LightGBM features by split share:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(ranked.size(), 10); ++i) {
+    const std::size_t f = ranked[i].second;
+    std::string label;
+    if (f < 256)
+      label = "byte_hist[" + std::to_string(f) + "]";
+    else if (f < 512)
+      label = "byte_entropy_hist[" + std::to_string(f - 256) + "]";
+    else
+      label = std::string(names[f - 512]);
+    std::printf("  %5.1f%%  %s\n", 100.0 * ranked[i].first, label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces the §IV-A functionality verification: the percentage of each
+// attack's successful AEs whose sandbox behavior trace matches the original
+// (paper: only RLA loses functionality, on 23% of its AEs).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mpass;
+  const auto cfg = harness::ExperimentConfig::from_env();
+  const auto cells = harness::offline_grid(cfg);
+  bench::print_grid(
+      "Functionality-preserving rate (%) of successful AEs (sandbox check)",
+      cells, bench::offline_targets(), bench::main_attacks(),
+      [](const harness::CellStats& c) { return c.functional; });
+  std::printf(
+      "Paper (Section IV-A): 23%% of RLA AEs lose functionality; all other\n"
+      "methods preserve it (i.e. RLA ~77%%, everything else 100%%).\n");
+  return 0;
+}

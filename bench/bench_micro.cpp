@@ -1,0 +1,100 @@
+// Component micro-benchmarks (google-benchmark): PE parse/build, feature
+// extraction, detector inference, emulator throughput, LZSS, Shapley.
+#include <benchmark/benchmark.h>
+
+#include "corpus/generator.hpp"
+#include "detectors/features.hpp"
+#include "detectors/models.hpp"
+#include "explain/shapley.hpp"
+#include "pack/packer.hpp"
+#include "pe/pe.hpp"
+#include "util/compress.hpp"
+#include "vm/sandbox.hpp"
+
+namespace {
+
+using namespace mpass;
+
+const util::ByteBuf& sample_malware() {
+  static const util::ByteBuf bytes = corpus::make_malware(0xBE9C).bytes();
+  return bytes;
+}
+
+void BM_PeParse(benchmark::State& state) {
+  const auto& bytes = sample_malware();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pe::PeFile::parse(bytes));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_PeParse);
+
+void BM_PeBuild(benchmark::State& state) {
+  const pe::PeFile file = pe::PeFile::parse(sample_malware());
+  for (auto _ : state) benchmark::DoNotOptimize(file.build());
+}
+BENCHMARK(BM_PeBuild);
+
+void BM_FeatureExtract(benchmark::State& state) {
+  const auto& bytes = sample_malware();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(detect::extract_features(bytes));
+}
+BENCHMARK(BM_FeatureExtract);
+
+void BM_MalConvForward(benchmark::State& state) {
+  detect::ByteConvDetector det("bench", detect::malconv_config(), 11);
+  const auto& bytes = sample_malware();
+  for (auto _ : state) benchmark::DoNotOptimize(det.score(bytes));
+}
+BENCHMARK(BM_MalConvForward);
+
+void BM_VmExecute(benchmark::State& state) {
+  const auto& bytes = sample_malware();
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::Machine machine(bytes);
+    const vm::RunResult r = machine.run();
+    steps += r.steps;
+    benchmark::DoNotOptimize(r.halted);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmExecute);
+
+void BM_LzssRoundtrip(benchmark::State& state) {
+  const auto& bytes = sample_malware();
+  for (auto _ : state) {
+    auto packed = util::lzss_compress(bytes);
+    benchmark::DoNotOptimize(util::lzss_decompress(packed));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_LzssRoundtrip);
+
+void BM_PackUpx(benchmark::State& state) {
+  const auto& bytes = sample_malware();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pack::pack(pack::PackerKind::UpxLike, bytes));
+}
+BENCHMARK(BM_PackUpx);
+
+void BM_ShapleyExact(benchmark::State& state) {
+  const pe::PeFile file = pe::PeFile::parse(sample_malware());
+  // Cheap surrogate scorer: file-size parity of nonzero content -- isolates
+  // the Shapley enumeration cost from model inference cost.
+  auto scorer = [](std::span<const std::uint8_t> b) {
+    std::size_t nz = 0;
+    for (std::uint8_t x : b) nz += (x != 0);
+    return static_cast<double>(nz % 997) / 997.0;
+  };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(explain::shapley_values(file, scorer));
+}
+BENCHMARK(BM_ShapleyExact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

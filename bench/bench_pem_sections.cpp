@@ -1,0 +1,55 @@
+// Reproduces the §III-B PEM result: averaged problem-space Shapley values
+// per section across the known models rank code (.text) and data sections
+// top-2, with roughly 1.3~6.0x the value of the 3rd section; the per-model
+// top-k intersection yields the critical-section set MPass targets.
+#include "bench_common.hpp"
+#include "corpus/generator.hpp"
+#include "explain/pem.hpp"
+
+int main() {
+  using namespace mpass;
+  auto& zoo = detect::ModelZoo::instance();
+
+  // N randomly sampled malware (exact Shapley: few players per file).
+  std::size_t n = 24;
+  if (const char* v = std::getenv("MPASS_PEM_N"); v && *v)
+    n = std::strtoull(v, nullptr, 10);
+  std::vector<util::ByteBuf> malware;
+  for (std::size_t i = 0; i < n; ++i)
+    malware.push_back(corpus::make_malware(0x9E40 + i).bytes());
+
+  std::vector<const detect::Detector*> known;
+  for (detect::Detector* d : zoo.offline())
+    known.push_back(d);  // all four serve as "known models" for PEM
+
+  explain::PemConfig cfg;
+  cfg.top_k = 3;
+  const explain::PemResult res = explain::run_pem(malware, known, cfg);
+
+  util::Table table("PEM: average Shapley value per section (x1000)");
+  std::vector<std::string> header = {"Model"};
+  for (const std::string& s : res.common_sections) header.push_back(s);
+  table.header(header);
+  for (std::size_t m = 0; m < res.model_names.size(); ++m) {
+    std::vector<std::string> row = {res.model_names[m]};
+    for (double v : res.avg_shapley[m])
+      row.push_back(util::Table::num(1000.0 * v, 1));
+    table.row(row);
+  }
+  std::cout << table.render();
+
+  for (std::size_t m = 0; m < res.model_names.size(); ++m) {
+    std::printf("%-10s top-%zu:", res.model_names[m].c_str(), cfg.top_k);
+    for (const std::string& s : res.per_model_topk[m])
+      std::printf(" %s", s.c_str());
+    if (m < res.top2_over_top3.size())
+      std::printf("   mean(top1,top2)/top3 = %.2fx", res.top2_over_top3[m]);
+    std::printf("\n");
+  }
+  std::printf("Common critical sections (intersection):");
+  for (const std::string& s : res.critical) std::printf(" %s", s.c_str());
+  std::printf(
+      "\nPaper finding: code and data sections are top-1/2 on all known\n"
+      "models, ~1.3-6.0x the Shapley value of the top-3 section.\n");
+  return 0;
+}

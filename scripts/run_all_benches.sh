@@ -1,0 +1,45 @@
+#!/bin/sh
+# Runs every benchmark binary in a sensible order (cheap reports first, the
+# shared-grid tables together) and tees the combined output.
+#
+# Usage: scripts/run_all_benches.sh [output-file]
+# Knobs: MPASS_N / MPASS_N_OFFLINE / MPASS_N_AV (samples per cell),
+#        MPASS_CACHE_DIR, MPASS_SEED, ...
+#
+# The offline grid (Tables I-III + functionality) and the AV grids (Fig. 3/4,
+# Tables IV-VI) use separate sample-count knobs so the cheap offline tables
+# can run at a larger N than the costlier AV experiments.
+set -e
+OUT="${1:-bench_output.txt}"
+BENCH_DIR="$(dirname "$0")/../build/bench"
+N_OFFLINE="${MPASS_N_OFFLINE:-${MPASS_N:-40}}"
+N_AV="${MPASS_N_AV:-${MPASS_N:-25}}"
+
+{
+  echo "===== bench_detectors ====="
+  "$BENCH_DIR/bench_detectors"
+  echo
+  echo "===== bench_pem_sections ====="
+  "$BENCH_DIR/bench_pem_sections"
+  echo
+  for b in bench_table1_asr bench_table2_avq bench_table3_apr \
+           bench_functionality; do
+    echo "===== $b (N=$N_OFFLINE) ====="
+    MPASS_N="$N_OFFLINE" "$BENCH_DIR/$b"
+    echo
+  done
+  for b in bench_fig3_av_asr bench_table4_obfuscation \
+           bench_fig4_av_learning bench_table5_other_sec \
+           bench_table6_random_data; do
+    echo "===== $b (N=$N_AV) ====="
+    MPASS_N="$N_AV" "$BENCH_DIR/$b"
+    echo
+  done
+  for b in bench_advtrain bench_ablation_ensemble bench_ablation_budget; do
+    echo "===== $b ====="
+    MPASS_N="$N_AV" "$BENCH_DIR/$b"
+    echo
+  done
+  echo "===== bench_micro ====="
+  "$BENCH_DIR/bench_micro"
+} 2>&1 | tee "$OUT"

@@ -1,0 +1,41 @@
+// The shared manipulation action set used by the RL / bandit baselines --
+// the functionality-safe transformations of gym-malware (Anderson et al.)
+// plus RLA's risky overlay actions. All actions operate on whole PE files
+// and return std::nullopt when inapplicable.
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::attack {
+
+enum class Action {
+  AppendOverlay,     // append benign bytes to the overlay tail
+  AddBenignSection,  // inject a section of benign content
+  RenameSections,    // randomize section names
+  SetTimestamp,      // perturb the COFF timestamp
+  AppendImports,     // add benign imports (within section slack)
+  UpxPack,           // repack the binary (UPX-like)
+  RemoveOverlay,     // strip the overlay -- RISKY: breaks self-reading
+                     // malware (the source of RLA's broken AEs, §IV-A)
+  kCount,
+};
+inline constexpr std::size_t kNumActions =
+    static_cast<std::size_t>(Action::kCount);
+
+std::string_view action_name(Action a);
+
+/// True for actions that can break functionality (RLA uses them anyway).
+bool is_risky(Action a);
+
+/// Applies one action. `benign_pool` donates content where needed.
+std::optional<util::ByteBuf> apply_action(
+    Action action, std::span<const std::uint8_t> file,
+    std::span<const util::ByteBuf> benign_pool, util::Rng& rng);
+
+/// Coarse state fingerprint of a file for tabular RL (RLA).
+std::uint64_t state_fingerprint(std::span<const std::uint8_t> file);
+
+}  // namespace mpass::attack

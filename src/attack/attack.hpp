@@ -1,0 +1,37 @@
+// Common interface for all evasion attacks (MPass, RLA, MAB, GAMMA, MalRNN,
+// and the packer obfuscators), so the experiment harness measures ASR / AVQ /
+// APR identically across methods through the shared hard-label oracle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "detectors/detector.hpp"
+
+namespace mpass::attack {
+
+struct AttackResult {
+  bool success = false;
+  util::ByteBuf adversarial;  // best-effort output even on failure
+  std::size_t queries = 0;
+  double apr = 0.0;  // (|adv| - |orig|) / |orig|
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Attacks one malware sample through the hard-label oracle; the oracle
+  /// carries the per-sample query budget. Attacks may keep cross-sample
+  /// state (RL policies, bandit posteriors) -- real attackers do.
+  virtual AttackResult run(std::span<const std::uint8_t> malware,
+                           detect::HardLabelOracle& oracle,
+                           std::uint64_t seed) = 0;
+};
+
+/// Computes APR for a result.
+double apr_of(std::size_t original_size, std::size_t adversarial_size);
+
+}  // namespace mpass::attack

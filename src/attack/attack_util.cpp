@@ -1,0 +1,12 @@
+#include "attack/attack.hpp"
+
+namespace mpass::attack {
+
+double apr_of(std::size_t original_size, std::size_t adversarial_size) {
+  if (original_size == 0) return 0.0;
+  return (static_cast<double>(adversarial_size) -
+          static_cast<double>(original_size)) /
+         static_cast<double>(original_size);
+}
+
+}  // namespace mpass::attack

@@ -1,0 +1,51 @@
+// GAMMA: genetic benign-section injection (Demetrio et al., IEEE TIFS 2021
+// -- reference [16] of the paper), adapted to the hard-label setting.
+//
+// A genome selects which sections harvested from benign donor programs get
+// injected (plus an overlay padding gene). A small population evolves by
+// tournament selection, crossover and mutation; each evaluation costs one
+// hard-label query. Fitness prefers evasion first, smaller payloads second
+// -- which still leaves GAMMA with the by-far-largest APR of all attacks
+// (Table III), since whole benign sections are injected.
+#pragma once
+
+#include "attack/attack.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::attack {
+
+struct GammaConfig {
+  std::size_t library_sections = 24;  // harvested donor sections
+  std::size_t population = 8;
+  double mutation_rate = 0.15;
+};
+
+class Gamma : public Attack {
+ public:
+  Gamma(GammaConfig cfg, std::span<const util::ByteBuf> benign_pool);
+
+  std::string_view name() const override { return "GAMMA"; }
+
+  AttackResult run(std::span<const std::uint8_t> malware,
+                   detect::HardLabelOracle& oracle,
+                   std::uint64_t seed) override;
+
+ private:
+  struct Genome {
+    std::vector<bool> use;      // which library sections to inject
+    std::uint32_t overlay_pad;  // extra benign overlay bytes
+  };
+
+  util::ByteBuf express(std::span<const std::uint8_t> malware,
+                        const Genome& g) const;
+
+  GammaConfig cfg_;
+  struct LibSection {
+    std::string name;
+    util::ByteBuf data;
+  };
+  std::vector<LibSection> library_;
+  util::ByteBuf pad_source_;
+};
+
+}  // namespace mpass::attack

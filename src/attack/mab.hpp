@@ -1,0 +1,45 @@
+// MAB: the multi-armed-bandit evasion attack (Song et al., AsiaCCS 2022 --
+// reference [15] of the paper).
+//
+// Thompson sampling with Beta posteriors over the functionality-safe action
+// arms; mutations accumulate on a working copy, one query per pull. On
+// success a minimization pass re-queries trimmed variants to reduce the
+// file-size overhead (MAB-malware's "minimization" stage).
+#pragma once
+
+#include <array>
+
+#include "attack/actions.hpp"
+#include "attack/attack.hpp"
+
+namespace mpass::attack {
+
+struct MabConfig {
+  int max_pulls_per_restart = 25;  // pulls before restarting from pristine
+  bool minimize = true;
+};
+
+class Mab : public Attack {
+ public:
+  Mab(MabConfig cfg, std::span<const util::ByteBuf> benign_pool)
+      : cfg_(cfg), pool_(benign_pool.begin(), benign_pool.end()) {
+    alpha_.fill(1.0);
+    beta_.fill(1.0);
+  }
+
+  std::string_view name() const override { return "MAB"; }
+
+  AttackResult run(std::span<const std::uint8_t> malware,
+                   detect::HardLabelOracle& oracle,
+                   std::uint64_t seed) override;
+
+ private:
+  std::size_t sample_arm(util::Rng& rng);
+
+  MabConfig cfg_;
+  std::vector<util::ByteBuf> pool_;
+  // Beta posteriors per safe arm (risky arms are excluded from MAB).
+  std::array<double, kNumActions> alpha_{}, beta_{};
+};
+
+}  // namespace mpass::attack

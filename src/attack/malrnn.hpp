@@ -1,0 +1,40 @@
+// MalRNN: byte-level language-model append attack (Ebrahimi et al. 2020 --
+// reference [14] of the paper).
+//
+// A GRU language model trained on benign programs generates benign-looking
+// byte streams that are appended to the malware overlay in growing chunks;
+// one hard-label query per append. Effective against byte-level detectors
+// whose features the appended tail can dilute, largely ineffective against
+// feature-space models (LightGBM row of Table I).
+#pragma once
+
+#include "attack/attack.hpp"
+#include "ml/gru.hpp"
+
+namespace mpass::attack {
+
+struct MalRnnConfig {
+  std::size_t initial_chunk = 2048;
+  double growth = 1.5;             // chunk growth per miss
+  std::size_t max_chunk = 8192;    // per-query generation cap
+  std::size_t max_total = 1 << 16; // appended-bytes cap; then resample
+  float temperature = 0.8f;
+};
+
+class MalRnn : public Attack {
+ public:
+  /// lm: the benign byte language model (ModelZoo::benign_lm()).
+  MalRnn(MalRnnConfig cfg, ml::GruLm& lm) : cfg_(cfg), lm_(lm) {}
+
+  std::string_view name() const override { return "MalRNN"; }
+
+  AttackResult run(std::span<const std::uint8_t> malware,
+                   detect::HardLabelOracle& oracle,
+                   std::uint64_t seed) override;
+
+ private:
+  MalRnnConfig cfg_;
+  ml::GruLm& lm_;
+};
+
+}  // namespace mpass::attack

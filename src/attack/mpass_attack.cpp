@@ -1,0 +1,26 @@
+#include "attack/mpass_attack.hpp"
+
+namespace mpass::attack {
+
+core::MpassConfig MpassAttack::default_config() { return {}; }
+
+core::MpassConfig MpassAttack::other_sec_config() {
+  core::MpassConfig cfg;
+  cfg.modification.targets = core::TargetMode::OtherSec;
+  return cfg;
+}
+
+core::MpassConfig MpassAttack::random_data_config() {
+  core::MpassConfig cfg;
+  cfg.random_content = true;
+  cfg.optimize = false;
+  return cfg;
+}
+
+core::MpassConfig MpassAttack::no_shuffle_config() {
+  core::MpassConfig cfg;
+  cfg.modification.stub.shuffle = false;
+  return cfg;
+}
+
+}  // namespace mpass::attack

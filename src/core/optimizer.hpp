@@ -1,0 +1,40 @@
+// Ensemble perturbation optimization (paper §III-D, Eq. 2-3).
+//
+// The perturbable bytes delta are lifted into each known model's embedding
+// space; one optimization step computes dLoss/dEmbedding for every known
+// model (loss = sum of per-model BCE toward the benign label, the ensemble
+// loss of Liu et al.), then greedily re-selects each perturbable byte to
+// minimize the first-order ensemble loss -- including the contribution of
+// its coupled key byte (the matrix-M constraint), so every step stays
+// function-preserving.
+#pragma once
+
+#include <vector>
+
+#include "core/modification.hpp"
+#include "ml/byteconv.hpp"
+
+namespace mpass::core {
+
+class EnsembleOptimizer {
+ public:
+  /// known: the differentiable known models (never the black-box target).
+  explicit EnsembleOptimizer(std::vector<ml::ByteConvNet*> known);
+
+  /// One optimization step: computes the ensemble gradient, greedily
+  /// re-selects bytes, and line-searches over update fractions so the
+  /// true (non-linearized) ensemble loss never increases.
+  /// Returns the mean ensemble BCE loss toward benign *after* the update.
+  float step(ModifiedSample& sample) const;
+
+  /// Mean ensemble probability of `bytes` being malicious.
+  float ensemble_score(std::span<const std::uint8_t> bytes) const;
+
+  /// Mean ensemble BCE loss toward the benign label.
+  float ensemble_loss(std::span<const std::uint8_t> bytes) const;
+
+ private:
+  std::vector<ml::ByteConvNet*> known_;
+};
+
+}  // namespace mpass::core

@@ -1,0 +1,205 @@
+#include "core/recovery.hpp"
+
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+#include "isa/isa.hpp"
+#include "vm/api.hpp"
+
+namespace mpass::core {
+
+using isa::Assembler;
+using isa::Reg;
+using util::ByteBuf;
+
+namespace {
+
+/// Copies `n` bytes from `src` cyclically starting at `*cursor`.
+ByteBuf cyclic_take(std::span<const std::uint8_t> src, std::size_t n,
+                    std::size_t* cursor) {
+  ByteBuf out(n);
+  if (src.empty()) return out;
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = src[(*cursor + i) % src.size()];
+  *cursor += n;
+  return out;
+}
+
+}  // namespace
+
+RecoverySection build_recovery_section(std::span<const RegionPlan> regions,
+                                       std::span<const ByteBuf> keys,
+                                       std::uint32_t section_va,
+                                       std::uint32_t oep_va,
+                                       std::span<const std::uint8_t> filler,
+                                       const StubOptions& opts,
+                                       util::Rng& rng) {
+  if (regions.size() != keys.size())
+    throw std::logic_error("recovery: regions/keys size mismatch");
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    if (keys[i].size() != regions[i].len)
+      throw std::logic_error("recovery: key length mismatch");
+
+  RecoverySection out;
+
+  // Section layout: [lead filler][stub + gaps][key blocks]. The benign
+  // filler leads (it starts at a file-alignment boundary, so detectors see
+  // donor bytes on the donor's own convolution grid), the stub follows, and
+  // the incompressible key material sits deepest in the file.
+  const std::uint32_t lead = static_cast<std::uint32_t>(opts.lead_filler);
+  std::uint32_t cursor = 0;
+  std::vector<std::uint32_t> key_rel;  // relative to key block start
+  for (const ByteBuf& k : keys) {
+    key_rel.push_back(cursor);
+    cursor += static_cast<std::uint32_t>(k.size());
+  }
+
+  // The stub layout depends only on the shuffle randomness, not on the key
+  // VAs (movi immediates are fixed-width), so two passes with a cloned RNG
+  // reach an exact fixpoint: pass 1 sizes the stub, pass 2 emits with the
+  // final key addresses.
+  const std::uint64_t layout_seed = rng();
+
+  struct StubBuild {
+    ByteBuf bytes;
+    std::size_t entry_item = 0;
+    std::vector<std::size_t> item_offsets;
+    std::vector<std::size_t> gap_items;
+  };
+
+  auto emit_stub = [&](std::uint32_t stub_va, std::uint32_t key_base_va) {
+    util::Rng lrng(layout_seed);
+    Assembler a;
+    using EmitFn = std::function<void(Assembler&)>;
+    std::vector<EmitFn> items;
+    auto I = [&items](EmitFn fn) { items.push_back(std::move(fn)); };
+
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const RegionPlan& reg = regions[r];
+      const std::uint32_t key_va = key_base_va + key_rel[r];
+      const auto loop = a.make_label();
+      const auto body = a.make_label();
+      const auto done = a.make_label();
+
+      // VProtect(region, prot)
+      I([=](Assembler& s) { s.movi(Reg::r0, reg.va); });
+      I([=](Assembler& s) { s.movi(Reg::r1, reg.len); });
+      I([=](Assembler& s) { s.movi(Reg::r2, reg.prot); });
+      I([](Assembler& s) {
+        s.sys(static_cast<std::uint16_t>(vm::Api::VProtect));
+      });
+      // r4 = cur, r5 = end, r6 = key cursor
+      I([=](Assembler& s) { s.movi(Reg::r4, reg.va); });
+      I([=](Assembler& s) { s.movi(Reg::r5, reg.va + reg.len); });
+      I([=](Assembler& s) { s.movi(Reg::r6, key_va); });
+      I([=](Assembler& s) {
+        s.bind(loop);
+        s.jlt(Reg::r4, Reg::r5, body);
+      });
+      I([=](Assembler& s) { s.jmp(done); });
+      I([=](Assembler& s) {
+        s.bind(body);
+        s.loadb(Reg::r1, Reg::r4);
+      });
+      I([=](Assembler& s) { s.loadb(Reg::r2, Reg::r6); });
+      I([=](Assembler& s) { s.sub(Reg::r1, Reg::r2); });
+      I([=](Assembler& s) { s.storeb(Reg::r4, Reg::r1); });
+      I([=](Assembler& s) { s.movi(Reg::r0, 1); });
+      I([=](Assembler& s) { s.add(Reg::r4, Reg::r0); });
+      I([=](Assembler& s) { s.add(Reg::r6, Reg::r0); });
+      I([=](Assembler& s) { s.jmp(loop); });
+      I([=](Assembler& s) { s.bind(done); s.nop(); });
+    }
+    // Restore context (zero registers), return to the original entry point.
+    for (int reg = 0; reg < isa::kNumRegs; ++reg)
+      I([=](Assembler& s) { s.movi(static_cast<Reg>(reg), 0); });
+    I([=](Assembler& s) { s.jmp_va(oep_va); });
+
+    // ---- chunking + shuffle (identical across passes: lrng is cloned).
+    struct Chunk {
+      std::size_t first = 0, last = 0;
+    };
+    std::vector<Chunk> chunks;
+    std::size_t idx = 0;
+    while (idx < items.size()) {
+      std::size_t take = 1;
+      if (opts.shuffle && opts.chunk_items > 1)
+        take = 1 + lrng.below(opts.chunk_items);
+      take = std::min(take, items.size() - idx);
+      chunks.push_back({idx, idx + take});
+      idx += take;
+    }
+    std::vector<std::size_t> physical(chunks.size());
+    for (std::size_t i = 0; i < physical.size(); ++i) physical[i] = i;
+    if (opts.shuffle && physical.size() > 1) lrng.shuffle(physical);
+
+    std::vector<Assembler::Label> chunk_label(chunks.size());
+    for (auto& l : chunk_label) l = a.make_label();
+
+    StubBuild build;
+    std::size_t filler_cursor = 0;
+    std::size_t emitted = 0;
+    bool entry_found = false;
+    for (std::size_t pi = 0; pi < physical.size(); ++pi) {
+      const std::size_t ci = physical[pi];
+      a.bind(chunk_label[ci]);
+      if (ci == 0 && !entry_found) {
+        build.entry_item = emitted;
+        entry_found = true;
+      }
+      for (std::size_t k = chunks[ci].first; k < chunks[ci].last; ++k) {
+        items[k](a);
+        ++emitted;
+      }
+      if (ci + 1 < chunks.size()) {
+        a.jmp(chunk_label[ci + 1]);
+        ++emitted;
+      }
+      if (opts.shuffle && pi + 1 < physical.size()) {
+        const std::size_t gap =
+            opts.min_gap + lrng.below(opts.max_gap - opts.min_gap + 1);
+        a.raw(cyclic_take(filler, gap, &filler_cursor));
+        build.gap_items.push_back(emitted);
+        ++emitted;
+      }
+    }
+    build.bytes = a.finish(stub_va, &build.item_offsets);
+    return build;
+  };
+
+  // Pass 1: size the stub; pass 2: final stub/key VAs.
+  const std::uint32_t stub_va = section_va + lead;
+  const std::size_t stub_size = emit_stub(stub_va, 0).bytes.size();
+  const std::uint32_t key_base_va =
+      stub_va + static_cast<std::uint32_t>(stub_size);
+  StubBuild build = emit_stub(stub_va, key_base_va);
+  assert(build.bytes.size() == stub_size);
+
+  out.entry_offset =
+      lead + static_cast<std::uint32_t>(build.item_offsets[build.entry_item]);
+  auto item_len = [&](std::size_t item) {
+    const std::size_t end = item + 1 < build.item_offsets.size()
+                                ? build.item_offsets[item + 1]
+                                : build.bytes.size();
+    return end - build.item_offsets[item];
+  };
+  if (lead > 0) out.free_ranges.emplace_back(0, lead);
+  for (std::size_t gi : build.gap_items)
+    out.free_ranges.emplace_back(
+        lead + static_cast<std::uint32_t>(build.item_offsets[gi]),
+        static_cast<std::uint32_t>(item_len(gi)));
+
+  // Final section bytes: lead filler || stub(+gaps) || keys.
+  std::size_t lead_cursor = 0;
+  out.data = cyclic_take(filler, lead, &lead_cursor);
+  out.data.insert(out.data.end(), build.bytes.begin(), build.bytes.end());
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    out.key_offsets.push_back(lead + static_cast<std::uint32_t>(stub_size) +
+                              key_rel[r]);
+    out.data.insert(out.data.end(), keys[r].begin(), keys[r].end());
+  }
+  return out;
+}
+
+}  // namespace mpass::core

@@ -1,0 +1,64 @@
+// Runtime-recovery stub construction + shuffle strategy (paper §III-C).
+//
+// The recovery section is laid out as [key blocks][stub][benign filler]:
+//   * key blocks -- one per encoded region, key = benign_content - original
+//     (byte-wise mod 256), so the stub restores x = b - k at runtime;
+//   * stub -- VProtect each region, decode it against its key block, zero
+//     the registers ("restore contexts") and jump to the original entry
+//     point;
+//   * shuffle strategy -- the stub instruction sequence is split into small
+//     chunks, the chunks are laid out in random order connected by jump
+//     instructions that preserve program order, and never-executed gaps
+//     between chunks hold perturbation bytes. Re-assembly re-patches all
+//     relative displacements (the paper's relative-addressing fix-up).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::core {
+
+/// One region of the original file to encode + recover.
+struct RegionPlan {
+  std::uint32_t va = 0;    // mapped VA of the region start
+  std::uint32_t len = 0;   // bytes
+  std::uint32_t prot = 1;  // protection restored during decode (1=W, 3=W+X)
+};
+
+struct StubOptions {
+  bool shuffle = true;
+  std::size_t chunk_items = 2;   // max instructions per shuffled chunk
+  std::size_t min_gap = 4;       // gap bytes between chunks
+  std::size_t max_gap = 16;
+  std::size_t lead_filler = 0;   // benign filler *before* the stub
+};
+
+/// The built recovery section plus the byte ranges the optimizer may touch.
+/// Layout: [lead filler][shuffled stub + gaps][key blocks] -- benign-looking
+/// content leads, the incompressible key material sits deepest in the file.
+struct RecoverySection {
+  util::ByteBuf data;
+  std::uint32_t entry_offset = 0;  // section-relative entry (first chunk)
+  std::vector<std::uint32_t> key_offsets;  // per region, section-relative
+  // Section-relative (offset, len) ranges that are pure perturbation slots:
+  // the lead filler and the shuffle gaps.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> free_ranges;
+};
+
+/// Builds the recovery section.
+///   regions/keys  parallel arrays (keys[i].size() == regions[i].len)
+///   section_va    VA the section will be mapped at
+///   oep_va        original entry point to jump to after recovery
+///   filler        benign byte source for gaps + tail (used cyclically)
+RecoverySection build_recovery_section(std::span<const RegionPlan> regions,
+                                       std::span<const util::ByteBuf> keys,
+                                       std::uint32_t section_va,
+                                       std::uint32_t oep_va,
+                                       std::span<const std::uint8_t> filler,
+                                       const StubOptions& opts,
+                                       util::Rng& rng);
+
+}  // namespace mpass::core

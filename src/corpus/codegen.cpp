@@ -1,0 +1,822 @@
+#include "corpus/codegen.hpp"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "corpus/strings.hpp"
+#include "isa/isa.hpp"
+#include "pe/import.hpp"
+#include "util/rng.hpp"
+#include "vm/api.hpp"
+
+namespace mpass::corpus {
+
+using isa::Assembler;
+using isa::Reg;
+using util::ByteBuf;
+using util::Rng;
+using vm::Api;
+
+namespace {
+
+constexpr std::uint32_t kScratchSize = 4096;
+constexpr std::uint32_t kTextRva = 0x1000;
+
+// ---- data pools ------------------------------------------------------------
+
+enum class Pl { Rdata, Data };
+
+/// Reference to a byte range in one of the data pools.
+struct Ref {
+  Pl pool = Pl::Rdata;
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+};
+
+class Pool {
+ public:
+  std::uint32_t add(std::span<const std::uint8_t> bytes) {
+    const std::uint32_t off = static_cast<std::uint32_t>(buf_.size());
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    return off;
+  }
+  std::uint32_t add_string(std::string_view s) {
+    return add(util::as_bytes(s));
+  }
+  std::uint32_t reserve(std::uint32_t n) {
+    const std::uint32_t off = static_cast<std::uint32_t>(buf_.size());
+    buf_.resize(buf_.size() + n, 0);
+    return off;
+  }
+  void align4() {
+    while (buf_.size() % 4 != 0) buf_.push_back(0);
+  }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(buf_.size()); }
+  ByteBuf take() { return std::move(buf_); }
+
+ private:
+  ByteBuf buf_;
+};
+
+// ---- per-behavior plan -------------------------------------------------------
+
+struct Plan {
+  Behavior kind{};
+  Ref str;    // main string / note / url / help text
+  Ref name;   // file name
+  Ref blob;   // encoded payload
+  std::uint32_t key = 0;    // xor key for blob decode
+  std::uint32_t count = 1;  // loop trip count
+  std::uint32_t aux = 0;    // host id / pid / port / mode flag
+  std::uint32_t aux2 = 0;
+};
+
+/// Values the emitters need that depend on the final layout.
+struct EmitCtx {
+  std::uint32_t image_base = 0;
+  std::uint32_t rdata_va = 0;  // VA (not RVA) of .rdata start
+  std::uint32_t data_va = 0;   // VA of .data start
+  std::uint32_t scratch_va = 0;
+  std::uint32_t overlay_len = 0;
+  std::uint32_t overlay_key = 0;
+  std::uint32_t overlay_mode = 0;  // 0 = exfiltrate, 1 = drop+exec
+  std::uint32_t overlay_name_va = 0;
+  std::uint32_t overlay_name_len = 0;
+
+  std::uint32_t va(const Ref& r) const {
+    return (r.pool == Pl::Rdata ? rdata_va : data_va) + r.off;
+  }
+};
+
+Ref add_ref(Pool& rdata, Pool& data, Pl which, std::span<const std::uint8_t> b) {
+  Pool& p = which == Pl::Rdata ? rdata : data;
+  return {which, p.add(b), static_cast<std::uint32_t>(b.size())};
+}
+
+Ref add_str(Pool& rdata, Pool& data, Pl which, std::string_view s) {
+  return add_ref(rdata, data, which, util::as_bytes(s));
+}
+
+// ---- planning ----------------------------------------------------------------
+
+Plan plan_behavior(Behavior kind, Rng& rng, Pool& rdata, Pool& data) {
+  Plan p;
+  p.kind = kind;
+  switch (kind) {
+    case Behavior::Persistence: {
+      const std::string value =
+          std::string(rng.pick(registry_run_keys())) + "=" +
+          std::string(rng.pick(dropper_names()));
+      p.str = add_str(rdata, data, Pl::Data, value);
+      break;
+    }
+    case Behavior::C2Beacon: {
+      p.str = add_str(rdata, data, Pl::Data, rng.pick(malicious_urls()));
+      p.aux = static_cast<std::uint32_t>(rng.range(1, 0xFFFF));  // host id
+      p.aux2 = static_cast<std::uint32_t>(rng.pick(
+          std::vector<int>{443, 8080, 4444, 6667, 1337}));
+      p.count = static_cast<std::uint32_t>(rng.range(1, 3));
+      break;
+    }
+    case Behavior::Ransomware: {
+      p.name = add_str(rdata, data, Pl::Data,
+                       "C:/Users/victim/README_RESTORE.txt");
+      p.str = add_str(rdata, data, Pl::Data, rng.pick(ransom_notes()));
+      p.key = static_cast<std::uint32_t>(rng.range(1, 255));
+      break;
+    }
+    case Behavior::Stealer: {
+      p.aux = static_cast<std::uint32_t>(rng.range(1, 0xFFFF));
+      p.aux2 = 443;
+      p.str = add_str(rdata, data, Pl::Data, rng.pick(malicious_urls()));
+      break;
+    }
+    case Behavior::Keylogger: {
+      p.aux = static_cast<std::uint32_t>(rng.range(1, 0xFFFF));
+      p.aux2 = 8443;
+      break;
+    }
+    case Behavior::Dropper:
+    case Behavior::Injector: {
+      // High-entropy encoded payload blob in .data ("encrypted payload",
+      // the data-section signal the paper calls out).
+      const std::size_t n = static_cast<std::size_t>(rng.range(512, 4096));
+      p.key = static_cast<std::uint32_t>(rng.range(1, 255));
+      ByteBuf plain = rng.bytes(n);  // stands in for a packed PE payload
+      for (auto& b : plain) b ^= static_cast<std::uint8_t>(p.key);
+      p.blob = add_ref(rdata, data, Pl::Data, plain);
+      if (kind == Behavior::Dropper) {
+        p.name = add_str(rdata, data, Pl::Data, rng.pick(dropper_names()));
+      } else {
+        p.aux = static_cast<std::uint32_t>(rng.range(100, 4000));  // pid
+      }
+      break;
+    }
+    case Behavior::Wiper:
+      p.key = 0xFF;
+      break;
+    case Behavior::OverlayLoader:
+      // Overlay parameters are filled in by compile_program (EmitCtx).
+      p.aux = rng.chance(0.5) ? 1 : 0;  // 0 exfil, 1 drop
+      if (p.aux == 1)
+        p.name = add_str(rdata, data, Pl::Data, rng.pick(dropper_names()));
+      break;
+
+    case Behavior::HelloReport:
+    case Behavior::UiGreeting:
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      break;
+    case Behavior::ConfigReader:
+      p.name = add_str(rdata, data, Pl::Rdata, rng.pick(benign_file_names()));
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      break;
+    case Behavior::Calculator:
+      p.count = static_cast<std::uint32_t>(rng.range(8, 64));
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      break;
+    case Behavior::TextProcessor:
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      p.key = 0x20;
+      break;
+    case Behavior::FileWriter:
+      p.name = add_str(rdata, data, Pl::Rdata, "C:/Users/victim/output.log");
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      break;
+    case Behavior::SelfCheck:
+      p.str = add_str(rdata, data, Pl::Rdata, rng.pick(benign_strings()));
+      break;
+    case Behavior::Telemetry:
+      p.aux = static_cast<std::uint32_t>(rng.range(0x10000, 0x1FFFF));
+      p.aux2 = 443;
+      p.str = add_str(rdata, data, Pl::Rdata,
+                      "app=contoso;ver=2.1;lang=en-US;arch=x86");
+      p.count = static_cast<std::uint32_t>(rng.range(1, 2));
+      break;
+    case Behavior::Updater:
+      p.str = add_str(rdata, data, Pl::Rdata,
+                      "HKCU\\Software\\Contoso\\Update=C:/Program Files/"
+                      "Contoso/updater.exe");
+      break;
+  }
+  return p;
+}
+
+// ---- emission ------------------------------------------------------------------
+
+void sys(Assembler& a, Api api) { a.sys(static_cast<std::uint16_t>(api)); }
+
+/// Emits: decode blob_len bytes from src_va into scratch with xor key.
+/// Clobbers r0, r1, r4..r7.
+void emit_xor_copy(Assembler& a, std::uint32_t src_va, std::uint32_t dst_va,
+                   std::uint32_t len, std::uint32_t key) {
+  a.movi(Reg::r4, src_va);
+  a.movi(Reg::r5, dst_va);
+  a.movi(Reg::r6, len);
+  a.movi(Reg::r7, 0);
+  const auto loop = a.make_label();
+  const auto body = a.make_label();
+  const auto done = a.make_label();
+  a.bind(loop);
+  a.jlt(Reg::r7, Reg::r6, body);
+  a.jmp(done);
+  a.bind(body);
+  a.movr(Reg::r0, Reg::r4);
+  a.add(Reg::r0, Reg::r7);
+  a.loadb(Reg::r1, Reg::r0);
+  a.movi(Reg::r0, key);
+  a.xor_(Reg::r1, Reg::r0);
+  a.movr(Reg::r0, Reg::r5);
+  a.add(Reg::r0, Reg::r7);
+  a.storeb(Reg::r0, Reg::r1);
+  a.movi(Reg::r0, 1);
+  a.add(Reg::r7, Reg::r0);
+  a.jmp(loop);
+  a.bind(done);
+}
+
+void emit_behavior(const Plan& p, Assembler& a, const EmitCtx& c) {
+  switch (p.kind) {
+    case Behavior::Persistence:
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::RegSetAutorun);
+      break;
+
+    case Behavior::C2Beacon: {
+      a.movi(Reg::r0, p.aux);
+      a.movi(Reg::r1, p.aux2);
+      sys(a, Api::Connect);
+      a.movr(Reg::r4, Reg::r0);  // sock
+      a.movi(Reg::r7, p.count);
+      const auto loop = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.jz(Reg::r7, done);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.va(p.str));
+      a.movi(Reg::r2, p.str.len);
+      sys(a, Api::Send);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movi(Reg::r2, 64);
+      sys(a, Api::Recv);
+      a.movi(Reg::r0, 1);
+      a.sub(Reg::r7, Reg::r0);
+      a.jmp(loop);
+      a.bind(done);
+      break;
+    }
+
+    case Behavior::Ransomware: {
+      // Drop the ransom note.
+      a.movi(Reg::r0, c.va(p.name));
+      a.movi(Reg::r1, p.name.len);
+      sys(a, Api::OpenFile);
+      a.movr(Reg::r4, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.va(p.str));
+      a.movi(Reg::r2, p.str.len);
+      sys(a, Api::WriteFile);
+      a.movr(Reg::r0, Reg::r4);
+      sys(a, Api::CloseFile);
+      // Encrypt every victim file.
+      const auto loop = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, 256);
+      sys(a, Api::EnumFiles);
+      a.jz(Reg::r0, done);
+      a.movr(Reg::r5, Reg::r0);  // name length
+      a.movi(Reg::r0, c.scratch_va);
+      a.movr(Reg::r1, Reg::r5);
+      a.movi(Reg::r2, p.key);
+      sys(a, Api::EncryptFile);
+      a.jmp(loop);
+      a.bind(done);
+      sys(a, Api::DeleteShadow);
+      break;
+    }
+
+    case Behavior::Stealer:
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, 256);
+      sys(a, Api::StealCreds);
+      a.movr(Reg::r5, Reg::r0);
+      a.movi(Reg::r0, p.aux);
+      a.movi(Reg::r1, p.aux2);
+      sys(a, Api::Connect);
+      a.movr(Reg::r4, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movr(Reg::r2, Reg::r5);
+      sys(a, Api::Send);
+      break;
+
+    case Behavior::Keylogger:
+      sys(a, Api::KeylogStart);
+      a.movi(Reg::r0, 40);
+      sys(a, Api::Sleep);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, 256);
+      sys(a, Api::KeylogDump);
+      a.movr(Reg::r5, Reg::r0);
+      a.movi(Reg::r0, p.aux);
+      a.movi(Reg::r1, p.aux2);
+      sys(a, Api::Connect);
+      a.movr(Reg::r4, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movr(Reg::r2, Reg::r5);
+      sys(a, Api::Send);
+      break;
+
+    case Behavior::Dropper:
+      emit_xor_copy(a, c.va(p.blob), c.scratch_va, p.blob.len, p.key);
+      a.movi(Reg::r0, c.va(p.name));
+      a.movi(Reg::r1, p.name.len);
+      a.movi(Reg::r2, c.scratch_va);
+      a.movi(Reg::r3, p.blob.len);
+      sys(a, Api::WriteExe);
+      a.movi(Reg::r0, c.va(p.name));
+      a.movi(Reg::r1, p.name.len);
+      sys(a, Api::CreateProc);
+      break;
+
+    case Behavior::Injector:
+      emit_xor_copy(a, c.va(p.blob), c.scratch_va, p.blob.len, p.key);
+      a.movi(Reg::r0, p.aux);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movi(Reg::r2, p.blob.len);
+      sys(a, Api::InjectProc);
+      break;
+
+    case Behavior::Wiper: {
+      const auto loop = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, 256);
+      sys(a, Api::EnumFiles);
+      a.jz(Reg::r0, done);
+      a.movr(Reg::r5, Reg::r0);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movr(Reg::r1, Reg::r5);
+      a.movi(Reg::r2, p.key);
+      sys(a, Api::EncryptFile);
+      a.jmp(loop);
+      a.bind(done);
+      a.movi(Reg::r0, 0xBAD);
+      sys(a, Api::RegDeleteKey);
+      sys(a, Api::DeleteShadow);
+      break;
+    }
+
+    case Behavior::OverlayLoader: {
+      // Locate our own overlay via the in-memory section table (robust to
+      // added sections / tail appends, as real self-reading malware is).
+      a.movi(Reg::r4, c.image_base);
+      a.movr(Reg::r5, Reg::r4);
+      a.addi(Reg::r5, 0x3C);
+      a.loadw(Reg::r5, Reg::r5);  // e_lfanew
+      a.add(Reg::r5, Reg::r4);    // VA of PE signature
+      a.movr(Reg::r6, Reg::r5);
+      a.addi(Reg::r6, 6);
+      a.loadw(Reg::r6, Reg::r6);
+      a.movi(Reg::r0, 0xFFFF);
+      a.and_(Reg::r6, Reg::r0);   // r6 = number of sections
+      a.movr(Reg::r7, Reg::r5);
+      a.addi(Reg::r7, 20);
+      a.loadw(Reg::r7, Reg::r7);
+      a.and_(Reg::r7, Reg::r0);   // r7 = optional header size
+      a.addi(Reg::r5, 24);
+      a.add(Reg::r5, Reg::r7);    // r5 = section table VA
+      a.movi(Reg::r7, 0);         // r7 = max raw end
+      const auto loop = a.make_label();
+      const auto skip = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.jz(Reg::r6, done);
+      a.movr(Reg::r1, Reg::r5);
+      a.addi(Reg::r1, 16);
+      a.loadw(Reg::r1, Reg::r1);  // SizeOfRawData
+      a.movr(Reg::r2, Reg::r5);
+      a.addi(Reg::r2, 20);
+      a.loadw(Reg::r2, Reg::r2);  // PointerToRawData
+      a.add(Reg::r2, Reg::r1);    // raw end
+      a.jlt(Reg::r2, Reg::r7, skip);
+      a.movr(Reg::r7, Reg::r2);
+      a.bind(skip);
+      a.addi(Reg::r5, 40);
+      a.movi(Reg::r0, 1);
+      a.sub(Reg::r6, Reg::r0);
+      a.jmp(loop);
+      a.bind(done);
+      // Read the encoded payload from the overlay into scratch.
+      a.movr(Reg::r0, Reg::r7);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movi(Reg::r2, c.overlay_len);
+      sys(a, Api::ReadSelf);
+      // Decode in place.
+      a.movi(Reg::r4, c.scratch_va);
+      a.movr(Reg::r5, Reg::r4);
+      a.movi(Reg::r0, c.overlay_len);
+      a.add(Reg::r5, Reg::r0);  // end
+      const auto dloop = a.make_label();
+      const auto dbody = a.make_label();
+      const auto ddone = a.make_label();
+      a.bind(dloop);
+      a.jlt(Reg::r4, Reg::r5, dbody);
+      a.jmp(ddone);
+      a.bind(dbody);
+      a.loadb(Reg::r1, Reg::r4);
+      a.movi(Reg::r0, c.overlay_key);
+      a.xor_(Reg::r1, Reg::r0);
+      a.storeb(Reg::r4, Reg::r1);
+      a.movi(Reg::r0, 1);
+      a.add(Reg::r4, Reg::r0);
+      a.jmp(dloop);
+      a.bind(ddone);
+      if (c.overlay_mode == 0) {
+        // Exfiltrate the decoded payload.
+        a.movi(Reg::r0, 0xC2C2);
+        a.movi(Reg::r1, 4444);
+        sys(a, Api::Connect);
+        a.movr(Reg::r4, Reg::r0);
+        a.movr(Reg::r0, Reg::r4);
+        a.movi(Reg::r1, c.scratch_va);
+        a.movi(Reg::r2, c.overlay_len);
+        sys(a, Api::Send);
+      } else {
+        // Drop + execute the decoded payload.
+        a.movi(Reg::r0, c.overlay_name_va);
+        a.movi(Reg::r1, c.overlay_name_len);
+        a.movi(Reg::r2, c.scratch_va);
+        a.movi(Reg::r3, c.overlay_len);
+        sys(a, Api::WriteExe);
+        a.movi(Reg::r0, c.overlay_name_va);
+        a.movi(Reg::r1, c.overlay_name_len);
+        sys(a, Api::CreateProc);
+      }
+      break;
+    }
+
+    // ---- benign behaviors ----
+    case Behavior::HelloReport:
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+
+    case Behavior::ConfigReader:
+      a.movi(Reg::r0, c.va(p.name));
+      a.movi(Reg::r1, p.name.len);
+      sys(a, Api::OpenFile);
+      a.movr(Reg::r4, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movi(Reg::r2, 128);
+      sys(a, Api::ReadFile);
+      a.movr(Reg::r5, Reg::r0);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movr(Reg::r1, Reg::r5);
+      sys(a, Api::Checksum);
+      a.movi(Reg::r6, c.scratch_va + 512);
+      a.storew(Reg::r6, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      sys(a, Api::CloseFile);
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+
+    case Behavior::Calculator: {
+      a.movi(Reg::r4, 0);
+      a.movi(Reg::r5, 0);
+      a.movi(Reg::r6, p.count);
+      const auto loop = a.make_label();
+      const auto body = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.jlt(Reg::r5, Reg::r6, body);
+      a.jmp(done);
+      a.bind(body);
+      a.movr(Reg::r7, Reg::r5);
+      a.mul(Reg::r7, Reg::r5);
+      a.add(Reg::r4, Reg::r7);
+      a.movi(Reg::r0, 1);
+      a.add(Reg::r5, Reg::r0);
+      a.jmp(loop);
+      a.bind(done);
+      a.movi(Reg::r6, c.scratch_va + 516);
+      a.storew(Reg::r6, Reg::r4);
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+    }
+
+    case Behavior::TextProcessor:
+      emit_xor_copy(a, c.va(p.str), c.scratch_va, p.str.len, p.key);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+
+    case Behavior::FileWriter:
+      a.movi(Reg::r0, c.va(p.name));
+      a.movi(Reg::r1, p.name.len);
+      sys(a, Api::OpenFile);
+      a.movr(Reg::r4, Reg::r0);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.va(p.str));
+      a.movi(Reg::r2, p.str.len);
+      sys(a, Api::WriteFile);
+      a.movr(Reg::r0, Reg::r4);
+      sys(a, Api::CloseFile);
+      break;
+
+    case Behavior::UiGreeting:
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::MsgBox);
+      break;
+
+    case Behavior::SelfCheck:
+      a.movi(Reg::r0, 0);
+      a.movi(Reg::r1, c.scratch_va);
+      a.movi(Reg::r2, 64);
+      sys(a, Api::ReadSelf);
+      a.movi(Reg::r0, c.scratch_va);
+      a.movi(Reg::r1, 64);
+      sys(a, Api::Checksum);
+      a.movi(Reg::r6, c.scratch_va + 520);
+      a.storew(Reg::r6, Reg::r0);
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+
+    case Behavior::Telemetry: {
+      a.movi(Reg::r0, p.aux);
+      a.movi(Reg::r1, p.aux2);
+      sys(a, Api::Connect);
+      a.movr(Reg::r4, Reg::r0);
+      a.movi(Reg::r7, p.count);
+      const auto loop = a.make_label();
+      const auto done = a.make_label();
+      a.bind(loop);
+      a.jz(Reg::r7, done);
+      a.movr(Reg::r0, Reg::r4);
+      a.movi(Reg::r1, c.va(p.str));
+      a.movi(Reg::r2, p.str.len);
+      sys(a, Api::Send);
+      a.movi(Reg::r0, 1);
+      a.sub(Reg::r7, Reg::r0);
+      a.jmp(loop);
+      a.bind(done);
+      break;
+    }
+
+    case Behavior::Updater:
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::RegSetAutorun);
+      a.movi(Reg::r0, c.va(p.str));
+      a.movi(Reg::r1, p.str.len);
+      sys(a, Api::Print);
+      break;
+  }
+}
+
+/// Random arithmetic padding between behaviors: varies code bytes across
+/// samples without affecting observable behavior (r4..r7 are caller-saved
+/// scratch between behaviors).
+void emit_filler(Rng& rng, Assembler& a) {
+  const int n = static_cast<int>(rng.range(0, 5));
+  for (int i = 0; i < n; ++i) {
+    switch (rng.range(0, 4)) {
+      case 0:
+        a.movi(Reg::r4, static_cast<std::uint32_t>(rng.range(0, 0xFFFF)));
+        break;
+      case 1:
+        a.movi(Reg::r5, static_cast<std::uint32_t>(rng.range(0, 0xFFFF)));
+        break;
+      case 2:
+        a.add(Reg::r4, Reg::r5);
+        break;
+      case 3:
+        a.xor_(Reg::r5, Reg::r4);
+        break;
+      default:
+        a.nop();
+        break;
+    }
+  }
+}
+
+ByteBuf make_dos_stub(Rng& rng) {
+  static constexpr std::string_view kMsg =
+      "\x0e\x1f\xba\x0e\x00\xb4\x09\xcd\x21\xb8\x01\x4c\xcd\x21"
+      "This program cannot be run in DOS mode.\r\r\n$";
+  util::ByteWriter w;
+  w.block(util::as_bytes(kMsg));
+  w.zeros(8 + static_cast<std::size_t>(rng.range(0, 3)) * 8);
+  w.align_to(16);
+  return w.take();
+}
+
+ByteBuf make_rsrc(Rng& rng, std::size_t size) {
+  // Icon-like low-entropy content: repeating gradients plus version strings.
+  util::ByteWriter w;
+  w.u32(0x00005652);  // 'RV\0\0' pseudo resource magic
+  static constexpr std::string_view kVersion =
+      "FileVersion 2.1.0.0 ProductName Contoso Suite";
+  w.block(util::as_bytes(kVersion));
+  std::uint8_t base = rng.byte();
+  while (w.size() < size) {
+    for (int i = 0; i < 16 && w.size() < size; ++i)
+      w.u8(static_cast<std::uint8_t>(base + i * 3));
+    base += 1;
+  }
+  return w.take();
+}
+
+ByteBuf make_reloc(Rng& rng) {
+  // Plausible-looking relocation blocks (unused by the loader).
+  util::ByteWriter w;
+  const int blocks = static_cast<int>(rng.range(1, 3));
+  for (int b = 0; b < blocks; ++b) {
+    w.u32(0x1000 * static_cast<std::uint32_t>(b + 1));
+    const int n = static_cast<int>(rng.range(4, 16));
+    w.u32(8 + 2 * static_cast<std::uint32_t>(n));
+    for (int i = 0; i < n; ++i)
+      w.u16(static_cast<std::uint16_t>(0x3000 | rng.range(0, 0xFFF)));
+  }
+  return w.take();
+}
+
+}  // namespace
+
+CompiledSample compile_program(const ProgramSpec& spec) {
+  Rng rng(spec.seed);
+
+  Pool rdata;
+  Pool data;
+  const std::uint32_t scratch_off = data.reserve(kScratchSize);
+
+  // Plan all behaviors (fills the pools deterministically).
+  std::vector<Plan> plans;
+  plans.reserve(spec.behaviors.size());
+  bool has_overlay_loader = false;
+  for (Behavior b : spec.behaviors) {
+    plans.push_back(plan_behavior(b, rng, rdata, data));
+    if (b == Behavior::OverlayLoader) has_overlay_loader = true;
+  }
+  if (has_overlay_loader && spec.overlay_payload.empty())
+    throw std::logic_error("OverlayLoader requires overlay_payload");
+
+  for (const std::string& s : spec.extra_strings) rdata.add_string(s);
+  rdata.align4();
+  data.align4();
+
+  const std::uint32_t overlay_key =
+      has_overlay_loader ? static_cast<std::uint32_t>(rng.range(1, 255)) : 0;
+  const std::uint64_t filler_seed = rng();
+
+  // Two-pass assembly: pass 1 sizes the text section (instruction lengths
+  // are VA-independent), pass 2 emits with the final layout.
+  auto emit_all = [&](const EmitCtx& ctx) {
+    Assembler a;
+    Rng filler_rng(filler_seed);
+    for (const Plan& p : plans) {
+      emit_filler(filler_rng, a);
+      EmitCtx c = ctx;
+      if (p.kind == Behavior::OverlayLoader) {
+        c.overlay_mode = p.aux;
+        c.overlay_name_va = ctx.data_va + p.name.off;
+        c.overlay_name_len = p.name.len;
+      }
+      emit_behavior(p, a, c);
+    }
+    emit_filler(filler_rng, a);
+    a.movi(Reg::r0, 0);
+    sys(a, Api::ExitProcess);
+    a.halt();
+    return a;
+  };
+
+  pe::PeFile file;
+  file.timestamp = spec.timestamp;
+  file.dos_stub = make_dos_stub(rng);
+
+  // Section ordering varies across real toolchains; randomize the layout of
+  // the three main sections so entry-point RVAs and section positions carry
+  // no accidental regularity (drawn before pass 1 -- both passes share it).
+  std::array<int, 3> order = {0, 1, 2};  // 0 = text, 1 = rdata, 2 = data
+  rng.shuffle(order);
+
+  EmitCtx dummy;
+  dummy.image_base = file.image_base;
+  dummy.rdata_va = 0x01000000;
+  dummy.data_va = 0x02000000;
+  dummy.scratch_va = dummy.data_va + scratch_off;
+  dummy.overlay_len = static_cast<std::uint32_t>(spec.overlay_payload.size());
+  dummy.overlay_key = overlay_key;
+  const ByteBuf pass1 = emit_all(dummy).finish(0);
+
+  // Assign RVAs in the chosen order (sizes are VA-independent).
+  const std::uint32_t sizes[3] = {
+      static_cast<std::uint32_t>(pass1.size()), rdata.size(), data.size()};
+  std::uint32_t rvas[3] = {0, 0, 0};
+  std::uint32_t cursor = kTextRva;
+  for (int slot = 0; slot < 3; ++slot) {
+    const int which = order[slot];
+    rvas[which] = cursor;
+    cursor = util::align_up(cursor + std::max(sizes[which], 1u),
+                            file.section_align);
+  }
+  const std::uint32_t text_rva = rvas[0];
+  file.entry_point = text_rva;
+
+  EmitCtx ctx = dummy;
+  ctx.rdata_va = file.image_base + rvas[1];
+  ctx.data_va = file.image_base + rvas[2];
+  ctx.scratch_va = ctx.data_va + scratch_off;
+  const ByteBuf code = emit_all(ctx).finish(file.image_base + text_rva);
+  assert(code.size() == pass1.size());
+
+  // ---- sections (table order matches RVA order) -----------------------------
+  ByteBuf rdata_bytes = rdata.take();
+  ByteBuf data_bytes = data.take();
+  for (int slot = 0; slot < 3; ++slot) {
+    switch (order[slot]) {
+      case 0:
+        file.sections.push_back(
+            {spec.text_name, text_rva, static_cast<std::uint32_t>(code.size()),
+             pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute, code});
+        break;
+      case 1:
+        file.sections.push_back(
+            {spec.rdata_name, rvas[1],
+             static_cast<std::uint32_t>(rdata_bytes.size()),
+             pe::kScnInitializedData | pe::kScnMemRead, rdata_bytes});
+        break;
+      default:
+        file.sections.push_back(
+            {spec.data_name, rvas[2],
+             static_cast<std::uint32_t>(data_bytes.size()),
+             pe::kScnInitializedData | pe::kScnMemRead | pe::kScnMemWrite,
+             data_bytes});
+        break;
+    }
+  }
+
+  // Imports: APIs actually used, minus hidden sensitive ones.
+  std::vector<pe::Import> imports;
+  auto add_import = [&](std::uint16_t id) {
+    for (const pe::Import& imp : imports)
+      if (imp.api_id == id) return;
+    imports.push_back({id, std::string(vm::api_name(id))});
+  };
+  for (Behavior b : spec.behaviors)
+    for (std::uint16_t id : behavior_apis(b)) {
+      if (spec.hide_sensitive_imports && vm::is_hard_malicious(id)) continue;
+      add_import(id);
+    }
+  add_import(static_cast<std::uint16_t>(Api::ExitProcess));
+  add_import(static_cast<std::uint16_t>(Api::GetTime));
+  for (std::uint16_t id : spec.extra_imports) add_import(id);
+  // Import order is linker-dependent in real PEs; shuffle so entry adjacency
+  // carries no behavioral fingerprint.
+  rng.shuffle(imports);
+  pe::attach_import_section(file, imports);
+
+  if (spec.rsrc_size > 0)
+    file.add_section(".rsrc", make_rsrc(rng, spec.rsrc_size),
+                     pe::kScnInitializedData | pe::kScnMemRead);
+  if (spec.has_reloc)
+    file.add_section(".reloc", make_reloc(rng),
+                     pe::kScnInitializedData | pe::kScnMemRead);
+
+  // ---- overlay ---------------------------------------------------------------
+  if (has_overlay_loader) {
+    ByteBuf enc = spec.overlay_payload;
+    for (auto& b : enc) b ^= static_cast<std::uint8_t>(overlay_key);
+    file.overlay = std::move(enc);
+  } else if (!spec.inert_overlay.empty()) {
+    file.overlay = spec.inert_overlay;
+  }
+
+  CompiledSample out;
+  out.meta.seed = spec.seed;
+  out.meta.family = spec.family;
+  out.meta.malicious = is_malicious_family(spec.family);
+  out.meta.overlay_dependent = has_overlay_loader;
+  out.meta.behaviors = spec.behaviors;
+  out.pe = std::move(file);
+  return out;
+}
+
+}  // namespace mpass::corpus

@@ -1,0 +1,20 @@
+// Compiles a ProgramSpec into a real PE32 file with MVM code.
+//
+// The compiler plans all data (strings, encoded payload blobs, scratch
+// space), assembles the behavior code twice (first pass sizes the text
+// section, second pass re-emits with final virtual addresses -- instruction
+// lengths are VA-independent so the fixpoint is exact), and lays out the
+// standard section set: .text / .rdata / .data / .idata [/ .rsrc / .reloc],
+// plus an XOR-encoded overlay for overlay-dependent samples.
+#pragma once
+
+#include "corpus/spec.hpp"
+
+namespace mpass::corpus {
+
+/// Compiles spec to a PE file + metadata. Deterministic in spec.seed.
+/// Throws std::logic_error on inconsistent specs (e.g. OverlayLoader with an
+/// empty overlay_payload).
+CompiledSample compile_program(const ProgramSpec& spec);
+
+}  // namespace mpass::corpus

@@ -1,0 +1,266 @@
+#include "corpus/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "corpus/codegen.hpp"
+#include "corpus/strings.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "vm/sandbox.hpp"
+
+namespace mpass::corpus {
+
+using util::Rng;
+
+namespace {
+
+void maybe(Rng& rng, double p, std::vector<Behavior>& v, Behavior b) {
+  if (rng.chance(p)) v.push_back(b);
+}
+
+std::vector<Behavior> behaviors_for(Family f, Rng& rng) {
+  std::vector<Behavior> v;
+  switch (f) {
+    case Family::Ransom:
+      v.push_back(Behavior::Ransomware);
+      maybe(rng, 0.5, v, Behavior::Persistence);
+      maybe(rng, 0.3, v, Behavior::C2Beacon);
+      maybe(rng, 0.2, v, Behavior::OverlayLoader);
+      break;
+    case Family::InfoStealer:
+      v.push_back(Behavior::Stealer);
+      maybe(rng, 0.4, v, Behavior::Persistence);
+      maybe(rng, 0.3, v, Behavior::C2Beacon);
+      maybe(rng, 0.35, v, Behavior::OverlayLoader);
+      break;
+    case Family::Backdoor:
+      v.push_back(Behavior::C2Beacon);
+      v.push_back(rng.chance(0.5) ? Behavior::Injector
+                                  : Behavior::OverlayLoader);
+      maybe(rng, 0.6, v, Behavior::Persistence);
+      break;
+    case Family::DropperBot:
+      v.push_back(Behavior::Dropper);
+      maybe(rng, 0.4, v, Behavior::OverlayLoader);
+      maybe(rng, 0.5, v, Behavior::Persistence);
+      break;
+    case Family::KeylogSpy:
+      v.push_back(Behavior::Keylogger);
+      maybe(rng, 0.3, v, Behavior::Stealer);
+      maybe(rng, 0.5, v, Behavior::Persistence);
+      maybe(rng, 0.25, v, Behavior::OverlayLoader);
+      break;
+    case Family::WiperKit:
+      v.push_back(Behavior::Wiper);
+      maybe(rng, 0.3, v, Behavior::Persistence);
+      break;
+    case Family::BenignUtility:
+      v.push_back(Behavior::HelloReport);
+      maybe(rng, 0.7, v, Behavior::ConfigReader);
+      maybe(rng, 0.6, v, Behavior::Calculator);
+      maybe(rng, 0.5, v, Behavior::FileWriter);
+      maybe(rng, 0.3, v, Behavior::SelfCheck);
+      break;
+    case Family::BenignEditor:
+      v.push_back(Behavior::TextProcessor);
+      maybe(rng, 0.6, v, Behavior::FileWriter);
+      maybe(rng, 0.5, v, Behavior::UiGreeting);
+      maybe(rng, 0.5, v, Behavior::HelloReport);
+      break;
+    case Family::BenignUpdater:
+      v.push_back(Behavior::Updater);
+      maybe(rng, 0.7, v, Behavior::Telemetry);
+      maybe(rng, 0.5, v, Behavior::ConfigReader);
+      maybe(rng, 0.4, v, Behavior::SelfCheck);
+      break;
+    case Family::BenignGame:
+      v.push_back(Behavior::Calculator);
+      maybe(rng, 0.7, v, Behavior::UiGreeting);
+      maybe(rng, 0.6, v, Behavior::HelloReport);
+      maybe(rng, 0.3, v, Behavior::Telemetry);
+      break;
+  }
+  rng.shuffle(v);
+  return v;
+}
+
+ProgramSpec sample_spec(std::uint64_t seed, bool malicious) {
+  Rng rng(util::hash_combine(seed, malicious ? 0x4D41 : 0x424E));
+  ProgramSpec spec;
+  spec.seed = rng();
+
+  static constexpr Family kMal[] = {Family::Ransom,     Family::InfoStealer,
+                                    Family::Backdoor,   Family::DropperBot,
+                                    Family::KeylogSpy,  Family::WiperKit};
+  static constexpr Family kBen[] = {Family::BenignUtility, Family::BenignEditor,
+                                    Family::BenignUpdater, Family::BenignGame};
+  spec.family = malicious ? kMal[rng.below(std::size(kMal))]
+                          : kBen[rng.below(std::size(kBen))];
+  spec.behaviors = behaviors_for(spec.family, rng);
+
+  // Embedded strings. Deliberately class-independent: file *layout*
+  // statistics (string-pool size, resource presence, section count) are kept
+  // matched across classes so detectors must learn from code/data *content*,
+  // the regime the paper's PEM analysis describes. Real-world corpora
+  // approximate this too -- plenty of malware ships resources and benign
+  // software ships none.
+  const int nstr = static_cast<int>(rng.range(2, 8));
+  for (int i = 0; i < nstr; ++i)
+    spec.extra_strings.emplace_back(rng.pick(benign_strings()));
+
+  // Section naming: non-standard names occur in both classes (malware
+  // slightly more often), e.g. protected/packed goodware.
+  if (rng.chance(malicious ? 0.2 : 0.1)) {
+    spec.text_name = std::string(rng.pick(shady_section_names()));
+    if (rng.chance(0.5))
+      spec.data_name = std::string(rng.pick(shady_section_names()));
+  }
+
+  spec.rsrc_size = 0;
+  if (rng.chance(0.55))
+    spec.rsrc_size = static_cast<std::size_t>(rng.range(1024, 12288));
+  spec.has_reloc = rng.chance(0.45);
+  spec.hide_sensitive_imports = malicious && rng.chance(0.45);
+  spec.timestamp = static_cast<std::uint32_t>(
+      rng.range(0x5C000000, 0x63000000));  // 2018..2022
+
+  // Imported-but-unused APIs: real programs of BOTH classes link in a large
+  // superset of the APIs they call (static libraries, frameworks, dead
+  // code), including alarming-sounding crypto/capture/process primitives in
+  // perfectly benign software. Import *lists* are therefore a weak class
+  // signal at this granularity -- the real-PE regime behind the paper's
+  // footnote that import tables are negligible for attacks. Each program
+  // gets a uniform random superset over the whole API registry.
+  {
+    const auto all = vm::all_apis();
+    const int nextra = static_cast<int>(rng.range(5, 15));
+    for (int i = 0; i < nextra; ++i)
+      spec.extra_imports.push_back(all[rng.below(all.size())]);
+  }
+
+  bool overlay = false;
+  for (Behavior b : spec.behaviors)
+    if (b == Behavior::OverlayLoader) overlay = true;
+  if (overlay) {
+    spec.overlay_payload =
+        rng.bytes(static_cast<std::size_t>(rng.range(512, 4096)));
+  } else if (rng.chance(0.25)) {
+    // Inert overlay (installer payloads, signatures): both classes carry
+    // them; content is benign-looking text + padding.
+    util::ByteWriter w;
+    while (w.size() < static_cast<std::size_t>(rng.range(512, 3072)))
+      w.block(util::as_bytes(rng.pick(benign_strings())));
+    spec.inert_overlay = w.take();
+  }
+  return spec;
+}
+
+}  // namespace
+
+ProgramSpec sample_malware_spec(std::uint64_t seed) {
+  return sample_spec(seed, true);
+}
+
+ProgramSpec sample_benign_spec(std::uint64_t seed) {
+  return sample_spec(seed, false);
+}
+
+namespace {
+CompiledSample make_validated(std::uint64_t seed, bool malicious) {
+  const vm::Sandbox sandbox;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const std::uint64_t s = util::hash_combine(seed, attempt);
+    CompiledSample sample =
+        compile_program(sample_spec(s, malicious));
+    const vm::SandboxReport report = sandbox.analyze(sample.bytes());
+    if (report.executed_ok && report.malicious == malicious) return sample;
+  }
+  throw std::runtime_error("corpus: failed to generate a valid sample");
+}
+}  // namespace
+
+CompiledSample make_malware(std::uint64_t seed) {
+  return make_validated(seed, true);
+}
+
+CompiledSample make_benign(std::uint64_t seed) {
+  return make_validated(seed, false);
+}
+
+std::size_t Dataset::count(int label) const {
+  std::size_t n = 0;
+  for (const Sample& s : samples)
+    if (s.label == label) ++n;
+  return n;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  Dataset train, test;
+  std::size_t seen[2] = {0, 0};
+  const std::size_t total[2] = {count(0), count(1)};
+  for (const Sample& s : samples) {
+    const int l = s.label ? 1 : 0;
+    const bool to_train =
+        static_cast<double>(seen[l]) <
+        train_fraction * static_cast<double>(total[l]);
+    (to_train ? train : test).samples.push_back(s);
+    ++seen[l];
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void save_dataset(const Dataset& dataset, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::string index = "file,label,family,overlay\n";
+  std::size_t counters[2] = {0, 0};
+  for (const Sample& s : dataset.samples) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "%s_%04zu.bin",
+                  s.label ? "mal" : "ben", counters[s.label ? 1 : 0]++);
+    util::save_file(dir / name, s.bytes);
+    index += std::string(name) + "," + (s.label ? "1" : "0") + "," +
+             std::string(family_name(s.meta.family)) + "," +
+             (s.meta.overlay_dependent ? "1" : "0") + "\n";
+  }
+  util::save_file(dir / "index.csv", util::to_bytes(index));
+}
+
+Dataset load_dataset(const std::filesystem::path& dir) {
+  Dataset ds;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".bin") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    auto bytes = util::load_file(path);
+    if (!bytes) continue;
+    Sample s;
+    s.bytes = std::move(*bytes);
+    s.label = path.filename().string().rfind("mal", 0) == 0 ? 1 : 0;
+    s.meta.malicious = s.label == 1;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Dataset generate_dataset(std::uint64_t seed, std::size_t n_malware,
+                         std::size_t n_benign) {
+  Dataset ds;
+  ds.samples.reserve(n_malware + n_benign);
+  for (std::size_t i = 0; i < n_malware; ++i) {
+    CompiledSample s = make_malware(util::hash_combine(seed, 0x6D00 + i));
+    ds.samples.push_back({s.bytes(), 1, std::move(s.meta)});
+  }
+  for (std::size_t i = 0; i < n_benign; ++i) {
+    CompiledSample s = make_benign(util::hash_combine(seed, 0xB000 + i));
+    ds.samples.push_back({s.bytes(), 0, std::move(s.meta)});
+  }
+  // Interleave classes deterministically so splits stay balanced.
+  util::Rng rng(seed ^ 0xDA7A);
+  rng.shuffle(ds.samples);
+  return ds;
+}
+
+}  // namespace mpass::corpus

@@ -1,0 +1,84 @@
+#include "corpus/strings.hpp"
+
+namespace mpass::corpus {
+
+namespace {
+using sv = std::string_view;
+
+constexpr sv kBenign[] = {
+    "Welcome to the application. Press F1 for help.",
+    "Usage: tool [options] <input file>",
+    "Copyright (c) 2021 Contoso Software. All rights reserved.",
+    "Error: could not open the configuration file.",
+    "Processing complete. 0 warnings, 0 errors.",
+    "Select a file to open from the recent documents list.",
+    "Auto-save is enabled. Documents are saved every 10 minutes.",
+    "Checking for updates, please wait...",
+    "The operation completed successfully.",
+    "Invalid input: expected a number between 1 and 100.",
+    "Language: English (United States)",
+    "Thank you for registering your product.",
+    "Print preview is not available for this document type.",
+    "Rendering page %d of %d",
+    "Settings saved to the local profile.",
+    "Click Next to continue the installation.",
+    "A newer version is available. Would you like to download it?",
+    "Export finished: report.csv written to the documents folder.",
+};
+
+constexpr sv kMaliciousUrls[] = {
+    "http://c2-panel.badnetwork.xyz/gate.php",
+    "http://185.244.25.113:8080/beacon",
+    "http://qd7pcafncosqfqu3ha6fcx4h6sovnbv.onion/upload",
+    "http://update-checker.totally-legit-cdn.ru/cfg.bin",
+    "http://pool.minexmr-proxy.top:3333",
+    "http://files.dropzone-delivery.cc/stage2.bin",
+};
+
+constexpr sv kRunKeys[] = {
+    "HKLM\\Software\\Microsoft\\Windows\\CurrentVersion\\Run\\svhost32",
+    "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run\\WinUpdateSvc",
+    "HKLM\\Software\\Microsoft\\Windows\\CurrentVersion\\RunOnce\\ms_telemetry",
+    "HKCU\\Software\\Microsoft\\Windows\\CurrentVersion\\Run\\AdobeFlashHelper",
+};
+
+constexpr sv kRansomNotes[] = {
+    "YOUR FILES HAVE BEEN ENCRYPTED! Send 0.5 BTC to recover them.",
+    "All your documents are locked with military grade encryption.",
+    "Do not attempt to restore from backup. Pay within 72 hours.",
+    "Contact decryptor@securemail.onion with your victim ID.",
+};
+
+constexpr sv kDropperNames[] = {
+    "C:/Windows/Temp/svhost32.exe",
+    "C:/Users/victim/AppData/winupdate.exe",
+    "C:/ProgramData/ms_telemetry.exe",
+    "C:/Windows/Temp/flashplayer_upd.exe",
+};
+
+constexpr sv kBenignSections[] = {
+    ".text", ".data", ".rdata", ".idata", ".rsrc", ".reloc", ".bss", ".tls",
+};
+
+constexpr sv kShadySections[] = {
+    ".x1", "qwrt", ".enc0", "lzdat", ".s7", "blob",
+};
+
+constexpr sv kBenignFiles[] = {
+    "C:/Windows/config.ini",
+    "C:/Users/victim/notes.md",
+    "C:/Users/victim/output.log",
+    "C:/Users/victim/doc_report.txt",
+};
+}  // namespace
+
+std::span<const sv> benign_strings() { return kBenign; }
+std::span<const sv> malicious_urls() { return kMaliciousUrls; }
+std::span<const sv> registry_run_keys() { return kRunKeys; }
+std::span<const sv> ransom_notes() { return kRansomNotes; }
+std::span<const sv> dropper_names() { return kDropperNames; }
+std::span<const sv> benign_section_names() { return kBenignSections; }
+std::span<const sv> shady_section_names() { return kShadySections; }
+std::span<const sv> benign_file_names() { return kBenignFiles; }
+
+}  // namespace mpass::corpus

@@ -1,0 +1,21 @@
+// String pools for the synthetic program generator. Malware and benign
+// programs draw from different distributions of embedded strings -- C2 URLs,
+// registry run keys and ransom notes vs. help text, menus and config paths --
+// which is one of the static signals real detectors (and ours) learn.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace mpass::corpus {
+
+std::span<const std::string_view> benign_strings();
+std::span<const std::string_view> malicious_urls();
+std::span<const std::string_view> registry_run_keys();
+std::span<const std::string_view> ransom_notes();
+std::span<const std::string_view> dropper_names();
+std::span<const std::string_view> benign_section_names();
+std::span<const std::string_view> shady_section_names();
+std::span<const std::string_view> benign_file_names();
+
+}  // namespace mpass::corpus

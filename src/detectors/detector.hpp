@@ -1,0 +1,64 @@
+// Detector interface: every ML-based static malware detector in this
+// repository scores raw PE file bytes. Attacks only ever see detectors
+// through HardLabelOracle -- the paper's hard-label black-box query model
+// (benign/malicious verdict only, with a query counter).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace mpass::detect {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Maliciousness score in [0, 1] on raw file bytes. Must never throw on
+  /// malformed files (adversarial inputs are the norm).
+  virtual double score(std::span<const std::uint8_t> bytes) const = 0;
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  /// Hard-label verdict.
+  bool is_malicious(std::span<const std::uint8_t> bytes) const {
+    return score(bytes) >= threshold_;
+  }
+
+ private:
+  double threshold_ = 0.5;
+};
+
+/// Black-box query interface with a query budget/counter, shared by all
+/// attacks so AVQ is measured identically (paper §IV, "AVQ" metric).
+class HardLabelOracle {
+ public:
+  explicit HardLabelOracle(const Detector& detector,
+                           std::size_t max_queries = 100)
+      : detector_(detector), max_queries_(max_queries) {}
+
+  /// Hard-label query; increments the counter.
+  /// Returns true if the detector flags the sample as malicious.
+  bool query(std::span<const std::uint8_t> bytes) {
+    ++queries_;
+    return detector_.is_malicious(bytes);
+  }
+
+  std::size_t queries() const { return queries_; }
+  std::size_t max_queries() const { return max_queries_; }
+  bool exhausted() const { return queries_ >= max_queries_; }
+  std::string_view target_name() const { return detector_.name(); }
+
+ private:
+  const Detector& detector_;
+  std::size_t queries_ = 0;
+  std::size_t max_queries_;
+};
+
+}  // namespace mpass::detect

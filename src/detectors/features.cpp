@@ -1,0 +1,418 @@
+#include "detectors/features.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "isa/isa.hpp"
+#include "pe/import.hpp"
+#include "pe/pe.hpp"
+#include "util/entropy.hpp"
+
+namespace mpass::detect {
+
+namespace {
+
+constexpr std::string_view kParsedNames[] = {
+    "parse_ok",
+    "log_file_size",
+    "num_sections",
+    "entry_rva_log",
+    "timestamp_scaled",
+    "subsystem",
+    "linker_major",
+    "has_checksum",
+    "dos_stub_len",
+    "overlay_ratio",
+    "overlay_entropy",
+    "sec_mean_entropy",
+    "sec_max_entropy",
+    "exec_entropy",
+    "data_entropy",
+    "exec_size_ratio",
+    "write_size_ratio",
+    "std_name_fraction",
+    "shady_name_count",
+    "vsize_raw_mismatch",
+    "has_rsrc",
+    "has_reloc",
+    "import_count",
+    "import_sensitive",
+    "import_hard",
+    "import_parse_fail",
+    "code_decode_cov",
+    "code_sys_density",
+    "code_sys_sensitive",
+    "code_sys_hard",
+    "code_branch_density",
+    "code_imm_entropy",
+    "str_printable_ratio",
+    "str_run_count",
+    "str_mean_len",
+    "kw_url_count",
+    "kw_registry_count",
+    "kw_ransom_count",
+    "kw_onion_count",
+    "kw_benign_count",
+    "high_entropy_blob_ratio",
+    "header_entropy",
+};
+constexpr std::size_t kParsedDim = std::size(kParsedNames);
+
+constexpr std::string_view kMalKeywordsUrl[] = {"http://", ".xyz", ".ru/",
+                                                ".cc/", ".top"};
+constexpr std::string_view kMalKeywordsReg[] = {"HKLM\\", "HKCU\\",
+                                                "CurrentVersion\\Run"};
+constexpr std::string_view kMalKeywordsRansom[] = {
+    "ENCRYPTED", "BTC", "decryptor", "Pay within", "locked"};
+constexpr std::string_view kMalKeywordsOnion[] = {".onion"};
+constexpr std::string_view kBenignKeywords[] = {
+    "Copyright", "Usage:", "help", "version", "settings", "document",
+    "install"};
+
+std::size_t count_keywords(const std::string& haystack,
+                           std::span<const std::string_view> needles) {
+  std::size_t count = 0;
+  for (std::string_view n : needles) {
+    std::size_t pos = 0;
+    while ((pos = haystack.find(n, pos)) != std::string::npos) {
+      ++count;
+      pos += n.size();
+    }
+  }
+  return count;
+}
+
+/// Linear-sweep decode statistics over an executable section.
+struct CodeStats {
+  double coverage = 0.0;     // decoded bytes / section bytes
+  double sys_density = 0.0;  // SYS per instruction
+  double sys_sensitive = 0.0;
+  double sys_hard = 0.0;
+  double branch_density = 0.0;
+  double imm_entropy = 0.0;
+};
+
+CodeStats code_stats(std::span<const std::uint8_t> code) {
+  CodeStats cs;
+  if (code.empty()) return cs;
+  util::ByteReader r(code);
+  std::size_t instrs = 0, sys = 0, sens = 0, hard = 0, branches = 0;
+  std::vector<std::uint8_t> imm_bytes;
+  std::size_t decoded_bytes = 0;
+  try {
+    while (!r.eof()) {
+      const isa::Instr in = isa::decode(r);
+      ++instrs;
+      decoded_bytes = r.pos();
+      if (in.op == isa::Op::Sys) {
+        ++sys;
+        const auto id = static_cast<std::uint16_t>(in.imm);
+        if (id >= 0x100) ++sens;
+        // Hard-malicious ids (vm::is_hard_malicious without the dependency):
+        // the feature extractor only needs the id range shape.
+        if (id >= 0x106 && id <= 0x10F) ++hard;
+      }
+      if (isa::is_branch(in.op)) ++branches;
+      if (in.op == isa::Op::Movi || in.op == isa::Op::Addi) {
+        imm_bytes.push_back(static_cast<std::uint8_t>(in.imm));
+        imm_bytes.push_back(static_cast<std::uint8_t>(in.imm >> 8));
+      }
+    }
+  } catch (const util::ParseError&) {
+    // keep partial stats; coverage reflects how far the sweep got
+  }
+  cs.coverage = static_cast<double>(decoded_bytes) / code.size();
+  if (instrs > 0) {
+    cs.sys_density = static_cast<double>(sys) / instrs;
+    cs.sys_sensitive = static_cast<double>(sens) / instrs;
+    cs.sys_hard = static_cast<double>(hard) / instrs;
+    cs.branch_density = static_cast<double>(branches) / instrs;
+  }
+  cs.imm_entropy = util::shannon_entropy(imm_bytes);
+  return cs;
+}
+
+/// Extracts printable-ASCII string runs (>= 5 chars) as one haystack.
+void string_stats(std::span<const std::uint8_t> bytes, std::string* haystack,
+                  std::size_t* run_count, double* mean_len) {
+  std::size_t runs = 0, total_len = 0;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.size() >= 5) {
+      ++runs;
+      total_len += cur.size();
+      haystack->append(cur);
+      haystack->push_back('\n');
+    }
+    cur.clear();
+  };
+  for (std::uint8_t b : bytes) {
+    if (b >= 0x20 && b <= 0x7e) {
+      cur.push_back(static_cast<char>(b));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  *run_count = runs;
+  *mean_len = runs ? static_cast<double>(total_len) / runs : 0.0;
+}
+
+bool is_standard_name(const std::string& n) {
+  static constexpr std::string_view kStd[] = {".text",  ".data", ".rdata",
+                                              ".idata", ".rsrc", ".reloc",
+                                              ".bss",   ".tls"};
+  for (std::string_view s : kStd)
+    if (n == s) return true;
+  return false;
+}
+
+}  // namespace
+
+std::size_t feature_dim() { return 256 + 256 + kParsedDim; }
+
+std::span<const std::string_view> parsed_feature_names() {
+  return kParsedNames;
+}
+
+std::vector<float> extract_features(std::span<const std::uint8_t> bytes) {
+  std::vector<float> out;
+  out.reserve(feature_dim());
+
+  // ---- raw byte groups.
+  const auto hist = util::byte_histogram(bytes);
+  const float inv_n =
+      bytes.empty() ? 0.0f : 1.0f / static_cast<float>(bytes.size());
+  for (std::uint32_t c : hist) out.push_back(static_cast<float>(c) * inv_n);
+  const auto beh = util::byte_entropy_histogram(bytes);
+  out.insert(out.end(), beh.begin(), beh.end());
+
+  // ---- parsed features.
+  std::array<float, kParsedDim> f{};
+  auto set = [&f](std::string_view name, double v) {
+    for (std::size_t i = 0; i < kParsedDim; ++i)
+      if (kParsedNames[i] == name) {
+        f[i] = static_cast<float>(v);
+        return;
+      }
+  };
+  set("log_file_size", std::log1p(static_cast<double>(bytes.size())));
+
+  pe::PeFile file;
+  bool parsed = false;
+  try {
+    file = pe::PeFile::parse(bytes);
+    parsed = true;
+  } catch (const util::ParseError&) {
+  }
+  set("parse_ok", parsed ? 1.0 : 0.0);
+
+  if (parsed) {
+    set("num_sections", static_cast<double>(file.sections.size()));
+    set("entry_rva_log", std::log1p(static_cast<double>(file.entry_point)));
+    set("timestamp_scaled", static_cast<double>(file.timestamp) / 4.0e9);
+    set("subsystem", static_cast<double>(file.subsystem));
+    set("linker_major", static_cast<double>(file.linker_major));
+    set("has_checksum", file.checksum != 0 ? 1.0 : 0.0);
+    set("dos_stub_len", static_cast<double>(file.dos_stub.size()) / 256.0);
+    set("overlay_ratio", bytes.empty()
+                             ? 0.0
+                             : static_cast<double>(file.overlay.size()) /
+                                   static_cast<double>(bytes.size()));
+    set("overlay_entropy", util::shannon_entropy(file.overlay));
+
+    double sum_ent = 0.0, max_ent = 0.0, exec_ent = 0.0, data_ent = 0.0;
+    std::size_t exec_bytes = 0, write_bytes = 0, std_names = 0, shady = 0;
+    std::size_t total_bytes = 0;
+    double vsize_mismatch = 0.0;
+    double blob_bytes = 0.0;
+    for (const pe::Section& s : file.sections) {
+      const double ent = util::shannon_entropy(s.data);
+      sum_ent += ent;
+      max_ent = std::max(max_ent, ent);
+      total_bytes += s.data.size();
+      if (s.executable()) {
+        exec_bytes += s.data.size();
+        exec_ent = std::max(exec_ent, ent);
+      } else if (ent > data_ent) {
+        data_ent = ent;
+      }
+      if (s.writable()) write_bytes += s.data.size();
+      if (is_standard_name(s.name)) ++std_names;
+      else ++shady;
+      if (s.vsize > s.data.size() + 512) vsize_mismatch += 1.0;
+      // High-entropy blob content inside data sections (packed payloads).
+      if (!s.executable() && ent > 7.2)
+        blob_bytes += static_cast<double>(s.data.size());
+    }
+    const double nsec = std::max<std::size_t>(file.sections.size(), 1);
+    set("sec_mean_entropy", sum_ent / static_cast<double>(nsec));
+    set("sec_max_entropy", max_ent);
+    set("exec_entropy", exec_ent);
+    set("data_entropy", data_ent);
+    set("exec_size_ratio", total_bytes
+                               ? static_cast<double>(exec_bytes) / total_bytes
+                               : 0.0);
+    set("write_size_ratio", total_bytes
+                                ? static_cast<double>(write_bytes) / total_bytes
+                                : 0.0);
+    set("std_name_fraction",
+        static_cast<double>(std_names) / static_cast<double>(nsec));
+    set("shady_name_count", static_cast<double>(shady));
+    set("vsize_raw_mismatch", vsize_mismatch);
+    set("has_rsrc", file.find_section(".rsrc") ? 1.0 : 0.0);
+    set("has_reloc", file.find_section(".reloc") ? 1.0 : 0.0);
+    set("high_entropy_blob_ratio",
+        total_bytes ? blob_bytes / static_cast<double>(total_bytes) : 0.0);
+
+    // Imports.
+    const auto imports = pe::read_imports(file);
+    set("import_count", static_cast<double>(imports.size()));
+    std::size_t sens = 0, hard = 0;
+    for (const pe::Import& imp : imports) {
+      if (imp.api_id >= 0x100) ++sens;
+      if (imp.api_id >= 0x106 && imp.api_id <= 0x10F) ++hard;
+    }
+    set("import_sensitive", static_cast<double>(sens));
+    set("import_hard", static_cast<double>(hard));
+    set("import_parse_fail",
+        (file.dirs[pe::kDirImport].rva != 0 && imports.empty()) ? 1.0 : 0.0);
+
+    // Code statistics over the first executable section.
+    for (const pe::Section& s : file.sections) {
+      if (!s.executable()) continue;
+      const CodeStats cs = code_stats(s.data);
+      set("code_decode_cov", cs.coverage);
+      set("code_sys_density", cs.sys_density);
+      set("code_sys_sensitive", cs.sys_sensitive);
+      set("code_sys_hard", cs.sys_hard);
+      set("code_branch_density", cs.branch_density);
+      set("code_imm_entropy", cs.imm_entropy);
+      break;
+    }
+
+    // Header entropy (DOS stub + tables region ~ first 512 bytes).
+    set("header_entropy",
+        util::shannon_entropy(bytes.subspan(0, std::min<std::size_t>(
+                                                   bytes.size(), 512))));
+  }
+
+  // String features over the whole file (works even unparsed).
+  std::string haystack;
+  std::size_t runs = 0;
+  double mean_len = 0.0;
+  string_stats(bytes, &haystack, &runs, &mean_len);
+  set("str_printable_ratio", util::printable_ratio(bytes));
+  set("str_run_count", std::log1p(static_cast<double>(runs)));
+  set("str_mean_len", mean_len);
+  set("kw_url_count", static_cast<double>(count_keywords(haystack, kMalKeywordsUrl)));
+  set("kw_registry_count",
+      static_cast<double>(count_keywords(haystack, kMalKeywordsReg)));
+  set("kw_ransom_count",
+      static_cast<double>(count_keywords(haystack, kMalKeywordsRansom)));
+  set("kw_onion_count",
+      static_cast<double>(count_keywords(haystack, kMalKeywordsOnion)));
+  set("kw_benign_count",
+      static_cast<double>(count_keywords(haystack, kBenignKeywords)));
+
+  out.insert(out.end(), f.begin(), f.end());
+  return out;
+}
+
+namespace {
+constexpr std::string_view kVendorNames[] = {
+    "entry_in_last_section",
+    "entry_section_ratio",       // index of entry section / section count
+    "entry_section_std_name",
+    "entry_section_executable",
+    "entry_offset_ratio",        // entry offset within its section
+    "entry_section_entropy",
+    "entry_code_decodes",        // >= 16 instructions decode at the EP
+    "wx_section_present",
+    "exec_section_count",
+    "first_exec_is_entry",
+};
+constexpr std::size_t kVendorDim = std::size(kVendorNames);
+}  // namespace
+
+std::size_t vendor_feature_dim() { return feature_dim() + kVendorDim; }
+
+std::span<const std::string_view> vendor_feature_names() {
+  return kVendorNames;
+}
+
+std::vector<float> extract_vendor_features(
+    std::span<const std::uint8_t> bytes) {
+  std::vector<float> out = extract_features(bytes);
+  std::array<float, kVendorDim> v{};
+  auto set = [&v](std::string_view name, double value) {
+    for (std::size_t i = 0; i < kVendorDim; ++i)
+      if (kVendorNames[i] == name) {
+        v[i] = static_cast<float>(value);
+        return;
+      }
+  };
+
+  pe::PeFile file;
+  bool parsed = false;
+  try {
+    file = pe::PeFile::parse(bytes);
+    parsed = true;
+  } catch (const util::ParseError&) {
+  }
+  if (parsed && !file.sections.empty()) {
+    const auto entry_idx = file.section_by_rva(file.entry_point);
+    std::size_t exec_count = 0;
+    std::optional<std::size_t> first_exec;
+    bool wx = false;
+    for (std::size_t i = 0; i < file.sections.size(); ++i) {
+      const pe::Section& s = file.sections[i];
+      if (s.executable()) {
+        ++exec_count;
+        if (!first_exec) first_exec = i;
+        if (s.writable()) wx = true;
+      }
+    }
+    set("wx_section_present", wx ? 1.0 : 0.0);
+    set("exec_section_count", static_cast<double>(exec_count));
+    if (entry_idx) {
+      const pe::Section& es = file.sections[*entry_idx];
+      set("entry_in_last_section",
+          *entry_idx + 1 == file.sections.size() ? 1.0 : 0.0);
+      set("entry_section_ratio",
+          static_cast<double>(*entry_idx + 1) /
+              static_cast<double>(file.sections.size()));
+      set("entry_section_std_name",
+          (es.name == ".text" || es.name == "CODE" || es.name == ".code")
+              ? 1.0
+              : 0.0);
+      set("entry_section_executable", es.executable() ? 1.0 : 0.0);
+      const std::uint32_t off = file.entry_point - es.vaddr;
+      set("entry_offset_ratio",
+          es.data.empty() ? 0.0
+                          : static_cast<double>(off) /
+                                static_cast<double>(es.data.size()));
+      set("entry_section_entropy", util::shannon_entropy(es.data));
+      set("first_exec_is_entry",
+          (first_exec && *first_exec == *entry_idx) ? 1.0 : 0.0);
+      // Does code at the entry point disassemble cleanly?
+      if (off < es.data.size()) {
+        util::ByteReader r({es.data.data() + off, es.data.size() - off});
+        int decoded = 0;
+        try {
+          while (!r.eof() && decoded < 16) {
+            isa::decode(r);
+            ++decoded;
+          }
+        } catch (const util::ParseError&) {
+        }
+        set("entry_code_decodes", decoded >= 16 ? 1.0 : 0.0);
+      }
+    }
+  }
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace mpass::detect

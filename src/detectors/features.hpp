@@ -1,0 +1,41 @@
+// EMBER-style static feature extraction for the GBDT ("LightGBM") detector
+// and the commercial-AV simulators.
+//
+// Feature groups (fixed layout, see feature_dim()):
+//   [0..255]    normalized whole-file byte histogram
+//   [256..511]  byte-entropy joint histogram (16x16)
+//   [512..]     parsed-PE features: header fields, section statistics,
+//               import-table features, string features, and MVM code-section
+//               statistics (sensitive-syscall densities -- the code-section
+//               signal the paper identifies as critical).
+// Extraction is tolerant: unparsable/adversarial files yield the raw-bytes
+// groups plus zeros for parsed groups (plus a parse-failure indicator).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpass::detect {
+
+/// Total feature dimensionality.
+std::size_t feature_dim();
+
+/// Names of the parsed-feature block (diagnostics / tests).
+std::span<const std::string_view> parsed_feature_names();
+
+/// Extracts the full feature vector from raw file bytes.
+std::vector<float> extract_features(std::span<const std::uint8_t> bytes);
+
+/// Commercial AVs ship heuristic features beyond the EMBER-style set --
+/// entry-point placement, writable+executable sections, whether code at the
+/// entry point disassembles -- which is part of why they are harder targets
+/// than the offline research models (paper Fig. 3 vs Table I).
+std::size_t vendor_feature_dim();
+std::span<const std::string_view> vendor_feature_names();
+
+/// EMBER-style features + the vendor heuristic block.
+std::vector<float> extract_vendor_features(std::span<const std::uint8_t> bytes);
+
+}  // namespace mpass::detect

@@ -1,0 +1,71 @@
+#include "detectors/models.hpp"
+
+namespace mpass::detect {
+
+void ByteConvDetector::save(util::Archive& ar) const {
+  ar.tag("byteconv-detector");
+  ar.str(name_);
+  ar.f64(threshold());
+  net_.save(ar);
+}
+
+void ByteConvDetector::load(util::Unarchive& ar) {
+  ar.tag("byteconv-detector");
+  name_ = ar.str();
+  set_threshold(ar.f64());
+  net_.load(ar);
+}
+
+void GbdtDetector::save(util::Archive& ar) const {
+  ar.tag("gbdt-detector");
+  ar.str(name_);
+  ar.f64(threshold());
+  ar.u32(vendor_ ? 1 : 0);
+  gbdt_.save(ar);
+}
+
+void GbdtDetector::load(util::Unarchive& ar) {
+  ar.tag("gbdt-detector");
+  name_ = ar.str();
+  set_threshold(ar.f64());
+  vendor_ = ar.u32() != 0;
+  gbdt_.load(ar);
+}
+
+ml::ByteConvConfig malconv_config() {
+  ml::ByteConvConfig cfg;
+  cfg.max_len = 16384;
+  cfg.embed_dim = 8;
+  cfg.filters = 16;
+  cfg.width = 32;
+  cfg.stride = 16;
+  cfg.hidden = 16;
+  cfg.gated = true;
+  return cfg;
+}
+
+ml::ByteConvConfig nonneg_config() {
+  ml::ByteConvConfig cfg = malconv_config();
+  cfg.nonneg = true;
+  return cfg;
+}
+
+ml::ByteConvConfig malgcg_config() {
+  ml::ByteConvConfig cfg = malconv_config();
+  cfg.channel_gating = true;
+  cfg.width = 48;
+  cfg.stride = 24;
+  return cfg;
+}
+
+ml::GbdtConfig lightgbm_config() {
+  ml::GbdtConfig cfg;
+  cfg.trees = 100;
+  cfg.max_depth = 5;
+  cfg.bins = 64;
+  cfg.learning_rate = 0.1f;
+  cfg.feature_fraction = 0.8f;
+  return cfg;
+}
+
+}  // namespace mpass::detect

@@ -1,0 +1,111 @@
+#include "explain/shapley.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mpass::explain {
+
+using util::ByteBuf;
+
+std::vector<std::string> section_players(const pe::PeFile& file) {
+  std::vector<std::string> players;
+  players.reserve(file.sections.size() + 1);
+  for (const pe::Section& s : file.sections) players.push_back(s.name);
+  if (!file.overlay.empty()) players.emplace_back(kOverlayPlayer);
+  return players;
+}
+
+ByteBuf ablate_to_subset(const pe::PeFile& file, const std::vector<bool>& keep) {
+  pe::PeFile variant = file;
+  const bool has_overlay = !file.overlay.empty();
+  const std::size_t n_sections = file.sections.size();
+  for (std::size_t i = 0; i < n_sections; ++i) {
+    if (i < keep.size() && keep[i]) continue;
+    // Zero-fill the body: layout, names and sizes stay identical, so only
+    // the *content* contribution of the section is removed.
+    std::fill(variant.sections[i].data.begin(), variant.sections[i].data.end(),
+              0);
+  }
+  if (has_overlay) {
+    const std::size_t oi = n_sections;
+    if (!(oi < keep.size() && keep[oi]))
+      std::fill(variant.overlay.begin(), variant.overlay.end(), 0);
+  }
+  return variant.build();
+}
+
+namespace {
+
+/// Exact Shapley by subset enumeration with cached coalition values.
+std::vector<double> shapley_exact(const pe::PeFile& file, const ScoreFn& f,
+                                  std::size_t n) {
+  // v[mask] = f(sample with players in mask)
+  const std::size_t n_masks = std::size_t{1} << n;
+  std::vector<double> v(n_masks);
+  std::vector<bool> keep(n);
+  for (std::size_t mask = 0; mask < n_masks; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) keep[i] = (mask >> i) & 1;
+    v[mask] = f(ablate_to_subset(file, keep));
+  }
+
+  // Precompute |S|!(n-|S|-1)!/n! by coalition size.
+  std::vector<double> weight(n);
+  double n_fact = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) n_fact *= static_cast<double>(i);
+  for (std::size_t s = 0; s < n; ++s) {
+    double s_fact = 1.0, r_fact = 1.0;
+    for (std::size_t i = 2; i <= s; ++i) s_fact *= static_cast<double>(i);
+    for (std::size_t i = 2; i <= n - s - 1; ++i)
+      r_fact *= static_cast<double>(i);
+    weight[s] = s_fact * r_fact / n_fact;
+  }
+
+  std::vector<double> phi(n, 0.0);
+  for (std::size_t mask = 0; mask < n_masks; ++mask) {
+    const std::size_t size = static_cast<std::size_t>(std::popcount(mask));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) continue;
+      phi[i] += weight[size] * (v[mask | (std::size_t{1} << i)] - v[mask]);
+    }
+  }
+  return phi;
+}
+
+/// Monte-Carlo permutation sampling (Castro et al. estimator).
+std::vector<double> shapley_sampled(const pe::PeFile& file, const ScoreFn& f,
+                                    std::size_t n,
+                                    const ShapleyOptions& opts) {
+  util::Rng rng(opts.seed);
+  std::vector<double> phi(n, 0.0);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<bool> keep(n);
+
+  for (std::size_t p = 0; p < opts.permutations; ++p) {
+    rng.shuffle(order);
+    std::fill(keep.begin(), keep.end(), false);
+    double prev = f(ablate_to_subset(file, keep));
+    for (std::size_t i : order) {
+      keep[i] = true;
+      const double cur = f(ablate_to_subset(file, keep));
+      phi[i] += cur - prev;
+      prev = cur;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(opts.permutations);
+  for (double& x : phi) x *= inv;
+  return phi;
+}
+
+}  // namespace
+
+std::vector<double> shapley_values(const pe::PeFile& file, const ScoreFn& f,
+                                   const ShapleyOptions& opts) {
+  const std::size_t n = section_players(file).size();
+  if (n == 0) return {};
+  if (n <= opts.exact_max_players) return shapley_exact(file, f, n);
+  return shapley_sampled(file, f, n, opts);
+}
+
+}  // namespace mpass::explain

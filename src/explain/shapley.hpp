@@ -1,0 +1,49 @@
+// Shapley-value attribution over PE sections: the computational core of the
+// problem-space explainability method (PEM), paper §III-B Eq. 1.
+//
+// Players are the sections of a sample (plus the overlay as a pseudo
+// section); the characteristic function is a model's score on the sample
+// with only a subset of sections present (absent sections are zero-filled,
+// which preserves layout so header features stay put). Exact enumeration is
+// used up to a player budget, Monte-Carlo permutation sampling beyond it --
+// the paper's "top-30 sections" speedup corresponds to the player cap.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pe/pe.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::explain {
+
+/// Score function over raw bytes (a detector's score()).
+using ScoreFn = std::function<double(std::span<const std::uint8_t>)>;
+
+/// Name of the overlay pseudo-section player.
+inline constexpr std::string_view kOverlayPlayer = "<overlay>";
+
+/// The section players of a sample, in section-table order (+ overlay last
+/// when present).
+std::vector<std::string> section_players(const pe::PeFile& file);
+
+/// Builds the sample variant that keeps only the players in `keep`
+/// (by index into section_players order); all other section bodies and/or
+/// the overlay are zero-filled.
+util::ByteBuf ablate_to_subset(const pe::PeFile& file,
+                               const std::vector<bool>& keep);
+
+struct ShapleyOptions {
+  std::size_t exact_max_players = 12;  // exact enumeration budget (2^n evals)
+  std::size_t permutations = 64;       // MC permutations past the budget
+  std::uint64_t seed = 1;
+};
+
+/// Shapley value of every player for score f on this sample.
+/// Efficiency holds (exactly for exact mode, in expectation for MC):
+///   sum_i phi_i = f(full) - f(empty).
+std::vector<double> shapley_values(const pe::PeFile& file, const ScoreFn& f,
+                                   const ShapleyOptions& opts = {});
+
+}  // namespace mpass::explain

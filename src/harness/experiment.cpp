@@ -1,0 +1,418 @@
+#include "harness/experiment.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "attack/gamma.hpp"
+#include "attack/mab.hpp"
+#include "attack/malrnn.hpp"
+#include "attack/mpass_attack.hpp"
+#include "attack/obfuscate.hpp"
+#include "attack/rla.hpp"
+#include "corpus/generator.hpp"
+#include "util/hashing.hpp"
+#include "util/serialize.hpp"
+
+namespace mpass::harness {
+
+using util::ByteBuf;
+
+ExperimentConfig ExperimentConfig::from_env() {
+  ExperimentConfig cfg;
+  if (const char* v = std::getenv("MPASS_N"); v && *v)
+    cfg.n_samples = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  if (const char* v = std::getenv("MPASS_MAX_QUERIES"); v && *v)
+    cfg.max_queries = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  if (const char* v = std::getenv("MPASS_EXP_SEED"); v && *v)
+    cfg.seed = std::strtoull(v, nullptr, 10);
+  if (std::getenv("MPASS_NO_CACHE")) cfg.use_cache = false;
+  return cfg;
+}
+
+std::uint64_t ExperimentConfig::digest() const {
+  std::uint64_t h = 7;  // bump to invalidate cached results
+  h = util::hash_combine(h, n_samples);
+  h = util::hash_combine(h, max_queries);
+  h = util::hash_combine(h, seed);
+  // Config-only zoo digest: must not force model training.
+  h = util::hash_combine(h, detect::ZooConfig::from_env().digest());
+  return h;
+}
+
+std::vector<ByteBuf> make_attack_set(
+    std::span<const detect::Detector* const> gate, std::size_t n,
+    std::uint64_t seed) {
+  std::vector<ByteBuf> out;
+  std::size_t i = 0;
+  while (out.size() < n && i < n * 40) {
+    corpus::CompiledSample s =
+        corpus::make_malware(util::hash_combine(seed, 0xA11ACC + i));
+    ++i;
+    ByteBuf bytes = s.bytes();
+    bool detected_by_all = true;
+    for (const detect::Detector* d : gate)
+      if (!d->is_malicious(bytes)) detected_by_all = false;
+    if (detected_by_all) out.push_back(std::move(bytes));
+  }
+  return out;
+}
+
+CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
+                   std::span<const ByteBuf> samples,
+                   std::span<const ByteBuf> originals_for_sandbox,
+                   const ExperimentConfig& cfg) {
+  const vm::Sandbox sandbox;
+  CellStats stats;
+  stats.attack = std::string(atk.name());
+  stats.target = std::string(target.name());
+  stats.n = samples.size();
+
+  double sum_q = 0.0, sum_apr = 0.0;
+  std::size_t functional = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    detect::HardLabelOracle oracle(target, cfg.max_queries);
+    const attack::AttackResult r =
+        atk.run(samples[i], oracle, util::hash_combine(cfg.seed, i));
+    if (!r.success) continue;
+    ++stats.successes;
+    sum_q += static_cast<double>(r.queries);
+    sum_apr += r.apr;
+    // Paper §IV-A: verify AEs still show the original runtime behavior.
+    const ByteBuf& orig = originals_for_sandbox.empty()
+                              ? samples[i]
+                              : originals_for_sandbox[i];
+    if (sandbox.functionality_preserved(orig, r.adversarial)) {
+      ++functional;
+      stats.aes.push_back(r.adversarial);
+    }
+  }
+  if (stats.n > 0)
+    stats.asr = 100.0 * static_cast<double>(stats.successes) /
+                static_cast<double>(stats.n);
+  if (stats.successes > 0) {
+    stats.avq = sum_q / static_cast<double>(stats.successes);
+    stats.apr = 100.0 * sum_apr / static_cast<double>(stats.successes);
+    stats.functional = 100.0 * static_cast<double>(functional) /
+                       static_cast<double>(stats.successes);
+  }
+  return stats;
+}
+
+std::unique_ptr<attack::Attack> make_attack(std::string_view name,
+                                            detect::ModelZoo& zoo,
+                                            std::string_view target_name) {
+  // MPass variants clone the known models so concurrent grid cells never
+  // share forward-pass caches.
+  const attack::MpassAttack::CloneTag clone;
+  if (name == "MPass") {
+    const auto known = zoo.known_nets_excluding(target_name);
+    return std::make_unique<attack::MpassAttack>(
+        "MPass", attack::MpassAttack::default_config(), zoo.benign_pool(),
+        known, clone);
+  }
+  if (name == "Other-sec") {
+    const auto known = zoo.known_nets_excluding(target_name);
+    return std::make_unique<attack::MpassAttack>(
+        "Other-sec", attack::MpassAttack::other_sec_config(),
+        zoo.benign_pool(), known, clone);
+  }
+  if (name == "Random-data")
+    return std::make_unique<attack::MpassAttack>(
+        "Random-data", attack::MpassAttack::random_data_config(),
+        zoo.benign_pool(), std::vector<ml::ByteConvNet*>{});
+  if (name == "MPass-noshuffle") {
+    const auto known = zoo.known_nets_excluding(target_name);
+    return std::make_unique<attack::MpassAttack>(
+        "MPass-noshuffle", attack::MpassAttack::no_shuffle_config(),
+        zoo.benign_pool(), known, clone);
+  }
+  if (name == "RLA")
+    return std::make_unique<attack::Rla>(attack::RlaConfig{},
+                                         zoo.benign_pool());
+  if (name == "MAB")
+    return std::make_unique<attack::Mab>(attack::MabConfig{},
+                                         zoo.benign_pool());
+  if (name == "GAMMA")
+    return std::make_unique<attack::Gamma>(attack::GammaConfig{},
+                                           zoo.benign_pool());
+  if (name == "MalRNN")
+    return std::make_unique<attack::MalRnn>(attack::MalRnnConfig{},
+                                            zoo.benign_lm());
+  if (name == "UPX")
+    return std::make_unique<attack::ObfuscateAttack>(pack::PackerKind::UpxLike);
+  if (name == "PESpin")
+    return std::make_unique<attack::ObfuscateAttack>(
+        pack::PackerKind::PespinLike);
+  if (name == "ASPack")
+    return std::make_unique<attack::ObfuscateAttack>(
+        pack::PackerKind::AspackLike);
+  throw std::invalid_argument("unknown attack: " + std::string(name));
+}
+
+// ---- cache ------------------------------------------------------------------
+
+namespace {
+
+std::filesystem::path cell_path(std::string_view key,
+                                const ExperimentConfig& cfg) {
+  char name[96];
+  std::snprintf(name, sizeof(name), "exp-%s-%016llx.bin",
+                std::string(key).c_str(),
+                static_cast<unsigned long long>(cfg.digest()));
+  return util::cache_dir() / "results" / name;
+}
+
+void save_cell(util::Archive& ar, const CellStats& c) {
+  ar.tag("cell");
+  ar.str(c.attack);
+  ar.str(c.target);
+  ar.u64(c.n);
+  ar.u64(c.successes);
+  ar.f64(c.asr);
+  ar.f64(c.avq);
+  ar.f64(c.apr);
+  ar.f64(c.functional);
+  ar.u32(static_cast<std::uint32_t>(c.aes.size()));
+  for (const ByteBuf& ae : c.aes) ar.bytes(ae);
+}
+
+CellStats load_cell(util::Unarchive& ar) {
+  CellStats c;
+  ar.tag("cell");
+  c.attack = ar.str();
+  c.target = ar.str();
+  c.n = ar.u64();
+  c.successes = ar.u64();
+  c.asr = ar.f64();
+  c.avq = ar.f64();
+  c.apr = ar.f64();
+  c.functional = ar.f64();
+  c.aes.assign(ar.u32(), {});
+  for (ByteBuf& ae : c.aes) ae = ar.bytes();
+  return c;
+}
+
+}  // namespace
+
+void save_cells(std::string_view key, const ExperimentConfig& cfg,
+                const std::vector<CellStats>& cells) {
+  util::Archive ar;
+  ar.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const CellStats& c : cells) save_cell(ar, c);
+  util::save_file(cell_path(key, cfg), ar.take());
+}
+
+std::optional<std::vector<CellStats>> load_cells(std::string_view key,
+                                                 const ExperimentConfig& cfg) {
+  if (!cfg.use_cache) return std::nullopt;
+  auto blob = util::load_file(cell_path(key, cfg));
+  if (!blob) return std::nullopt;
+  try {
+    util::Unarchive ar(*blob);
+    std::vector<CellStats> cells(ar.u32());
+    for (CellStats& c : cells) c = load_cell(ar);
+    return cells;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+void export_csv(const std::filesystem::path& path,
+                const std::vector<CellStats>& cells) {
+  std::string csv = "attack,target,n,successes,asr,avq,apr,functional\n";
+  char line[256];
+  for (const CellStats& c : cells) {
+    std::snprintf(line, sizeof(line), "%s,%s,%zu,%zu,%.2f,%.2f,%.2f,%.2f\n",
+                  c.attack.c_str(), c.target.c_str(), c.n, c.successes, c.asr,
+                  c.avq, c.apr, c.functional);
+    csv += line;
+  }
+  util::save_file(path, util::to_bytes(csv));
+}
+
+// ---- canonical experiments -----------------------------------------------------
+
+namespace {
+
+std::vector<CellStats> run_grid(std::string_view key,
+                                std::span<const std::string_view> attacks,
+                                std::span<detect::Detector* const> targets,
+                                bool gate_on_all_offline,
+                                const ExperimentConfig& cfg) {
+  if (auto cached = load_cells(key, cfg)) return *cached;
+  detect::ModelZoo& zoo = detect::ModelZoo::instance();
+
+  // Sample gate: paper requires initial detection by the target models.
+  std::vector<const detect::Detector*> gate;
+  if (gate_on_all_offline)
+    for (detect::Detector* d : zoo.offline()) gate.push_back(d);
+  else
+    for (detect::Detector* d : targets) gate.push_back(d);
+  const std::vector<ByteBuf> samples =
+      make_attack_set(gate, cfg.n_samples, cfg.seed);
+
+  // One worker thread per target: a target detector is only ever queried
+  // from its own thread, and MPass workers own cloned known models, so no
+  // model's forward caches are shared across threads. All attacks (and
+  // their clones) are constructed up front on this thread -- cloning reads
+  // the source nets' state, which must not race with workers running them.
+  std::vector<std::vector<std::unique_ptr<attack::Attack>>> attack_sets(
+      targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t)
+    for (std::string_view atk_name : attacks)
+      attack_sets[t].push_back(make_attack(atk_name, zoo, targets[t]->name()));
+
+  std::vector<std::vector<CellStats>> per_target(targets.size());
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    workers.emplace_back([&, t] {
+      detect::Detector* target = targets[t];
+      for (auto& atk : attack_sets[t]) {
+        per_target[t].push_back(
+            run_cell(*atk, *target, samples, samples, cfg));
+        const CellStats& c = per_target[t].back();
+        std::fprintf(stderr, "[%s] %s vs %s: ASR %.1f%% AVQ %.1f APR %.0f%%\n",
+                     std::string(key).c_str(), c.attack.c_str(),
+                     c.target.c_str(), c.asr, c.avq, c.apr);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<CellStats> cells;
+  for (auto& group : per_target)
+    for (CellStats& c : group) cells.push_back(std::move(c));
+  save_cells(key, cfg, cells);
+  return cells;
+}
+
+constexpr std::string_view kMainAttacks[] = {"MPass", "RLA", "MAB", "GAMMA",
+                                             "MalRNN"};
+
+std::vector<detect::Detector*> av_targets() {
+  std::vector<detect::Detector*> targets;
+  for (const auto& av : detect::ModelZoo::instance().avs())
+    targets.push_back(av.get());
+  return targets;
+}
+
+}  // namespace
+
+std::vector<CellStats> offline_grid(const ExperimentConfig& cfg) {
+  auto targets = detect::ModelZoo::instance().offline();
+  return run_grid("offline", kMainAttacks, targets, true, cfg);
+}
+
+std::vector<CellStats> av_grid(const ExperimentConfig& cfg) {
+  auto targets = av_targets();
+  return run_grid("avs", kMainAttacks, targets, false, cfg);
+}
+
+std::vector<CellStats> obfuscation_grid(const ExperimentConfig& cfg) {
+  static constexpr std::string_view kAttacks[] = {"UPX", "PESpin", "ASPack",
+                                                  "MPass"};
+  auto targets = av_targets();
+  return run_grid("obfuscation", kAttacks, targets, false, cfg);
+}
+
+std::vector<CellStats> other_sec_grid(const ExperimentConfig& cfg) {
+  static constexpr std::string_view kAttacks[] = {"Other-sec", "MPass"};
+  auto targets = av_targets();
+  return run_grid("othersec", kAttacks, targets, false, cfg);
+}
+
+std::vector<CellStats> random_data_grid(const ExperimentConfig& cfg) {
+  static constexpr std::string_view kAttacks[] = {"Random-data", "MPass"};
+  auto targets = av_targets();
+  return run_grid("randomdata", kAttacks, targets, false, cfg);
+}
+
+LearningTimeline av_learning_timeline(const ExperimentConfig& cfg) {
+  detect::ModelZoo& zoo = detect::ModelZoo::instance();
+  // Fig. 4 extends the Fig. 3 run, adding the no-shuffle MPass ablation so
+  // the shuffle strategy's role in surviving AV learning is visible.
+  std::vector<CellStats> cells = av_grid(cfg);
+  {
+    const std::string_view key = "avs-noshuffle";
+    std::vector<CellStats> extra;
+    if (auto cached = load_cells(key, cfg)) {
+      extra = *cached;
+    } else {
+      std::vector<const detect::Detector*> gate;
+      std::vector<ByteBuf> samples;
+      for (const auto& av : zoo.avs()) {
+        auto atk = make_attack("MPass-noshuffle", zoo, av->name());
+        if (samples.empty()) {
+          gate.assign(1, av.get());
+          samples = make_attack_set(gate, cfg.n_samples, cfg.seed);
+        }
+        extra.push_back(run_cell(*atk, *av, samples, samples, cfg));
+      }
+      save_cells(key, cfg, extra);
+    }
+    cells.insert(cells.end(), extra.begin(), extra.end());
+  }
+
+  LearningTimeline tl;
+  for (const auto& av : zoo.avs()) tl.avs.emplace_back(av->name());
+  for (const CellStats& c : cells)
+    if (std::find(tl.attacks.begin(), tl.attacks.end(), c.attack) ==
+        tl.attacks.end())
+      tl.attacks.push_back(c.attack);
+
+  // Fresh AV copies so the learning simulation does not pollute the zoo.
+  const auto profiles = detect::default_av_profiles();
+  std::vector<std::unique_ptr<detect::CommercialAv>> avs;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    auto av = std::make_unique<detect::CommercialAv>(
+        profiles[i], detect::CommercialAv::Untrained{});
+    // Clone trained state via the archive round-trip.
+    util::Archive ar;
+    zoo.avs()[i]->save(ar);
+    const ByteBuf blob = ar.take();
+    util::Unarchive un(blob);
+    av->load(un);
+    avs.push_back(std::move(av));
+  }
+
+  tl.bypass.assign(
+      tl.attacks.size(),
+      std::vector<std::vector<double>>(
+          tl.avs.size(), std::vector<double>(tl.rounds, 0.0)));
+
+  // Weekly rounds: round 0 is the initial 100% (successful AEs only).
+  // Each following week the vendors mine signatures from that week's
+  // submission batch (all attacks mixed, as uploaded to the scan service).
+  for (std::size_t round = 0; round < tl.rounds; ++round) {
+    if (round > 0) {
+      for (std::size_t a = 0; a < tl.avs.size(); ++a) {
+        std::vector<ByteBuf> batch;
+        for (const CellStats& c : cells) {
+          if (c.target != tl.avs[a]) continue;
+          // Split each cell's AEs into (rounds-1) weekly slices.
+          const std::size_t slices = tl.rounds - 1;
+          for (std::size_t i = round - 1; i < c.aes.size(); i += slices)
+            batch.push_back(c.aes[i]);
+        }
+        avs[a]->update(batch);
+      }
+    }
+    for (const CellStats& c : cells) {
+      const auto ai = static_cast<std::size_t>(
+          std::find(tl.attacks.begin(), tl.attacks.end(), c.attack) -
+          tl.attacks.begin());
+      const auto vi = static_cast<std::size_t>(
+          std::find(tl.avs.begin(), tl.avs.end(), c.target) - tl.avs.begin());
+      if (vi >= tl.avs.size()) continue;
+      if (c.aes.empty()) continue;
+      std::size_t bypass = 0;
+      for (const ByteBuf& ae : c.aes)
+        if (!avs[vi]->is_malicious(ae)) ++bypass;
+      tl.bypass[ai][vi][round] = 100.0 * static_cast<double>(bypass) /
+                                 static_cast<double>(c.aes.size());
+    }
+  }
+  return tl;
+}
+
+}  // namespace mpass::harness

@@ -1,0 +1,105 @@
+// Experiment harness: runs attack x detector grids under the paper's
+// protocol and metrics, with on-disk caching so the per-table bench binaries
+// share one set of runs (Tables I-III all come from the same grid).
+//
+// Protocol (paper §IV "Datasets and baselines"): attack samples must be
+// (1) initially detected by the target models and (2) confirmed malicious in
+// the sandbox. Metrics: ASR, AVQ (mean queries per successful AE), APR
+// (mean file-size increase of successful AEs), plus the sandbox
+// functionality-verification rate of §IV-A.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "attack/attack.hpp"
+#include "detectors/zoo.hpp"
+#include "vm/sandbox.hpp"
+
+namespace mpass::harness {
+
+struct ExperimentConfig {
+  std::size_t n_samples = 60;     // malware per grid cell (MPASS_N)
+  std::size_t max_queries = 100;  // per-sample query budget (paper: 100)
+  std::uint64_t seed = 2023;
+  bool use_cache = true;
+
+  static ExperimentConfig from_env();
+  std::uint64_t digest() const;
+};
+
+/// Aggregate results of one attack against one target.
+struct CellStats {
+  std::string attack;
+  std::string target;
+  std::size_t n = 0;             // samples attacked
+  std::size_t successes = 0;     // bypassing AEs
+  double asr = 0.0;              // successes / n (percent)
+  double avq = 0.0;              // mean queries over successful AEs
+  double apr = 0.0;              // mean APR (percent) over successful AEs
+  double functional = 0.0;       // % of successful AEs passing the sandbox
+  std::vector<util::ByteBuf> aes;  // functional successful AEs (Fig. 4 input)
+};
+
+/// Builds the attack sample set: validated malware detected by all `gate`
+/// detectors (the paper's requirement (1)+(2)).
+std::vector<util::ByteBuf> make_attack_set(
+    std::span<const detect::Detector* const> gate, std::size_t n,
+    std::uint64_t seed);
+
+/// Runs one attack against one target over the sample set.
+CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
+                   std::span<const util::ByteBuf> samples,
+                   std::span<const util::ByteBuf> originals_for_sandbox,
+                   const ExperimentConfig& cfg);
+
+/// Attack factory. Names: MPass, RLA, MAB, GAMMA, MalRNN, UPX, PESpin,
+/// ASPack, Other-sec, Random-data, MPass-noshuffle.
+/// `target_name` controls MPass's known-model exclusion (offline targets
+/// only; commercial AVs never leak their models).
+std::unique_ptr<attack::Attack> make_attack(std::string_view name,
+                                            detect::ModelZoo& zoo,
+                                            std::string_view target_name);
+
+// ---- cached experiment entry points (one per paper artifact) -------------
+
+/// Tables I-III: {MPass,RLA,MAB,GAMMA,MalRNN} x 4 offline models.
+std::vector<CellStats> offline_grid(const ExperimentConfig& cfg);
+
+/// Fig. 3: same five attacks x 5 commercial AVs (keeps AEs for Fig. 4).
+std::vector<CellStats> av_grid(const ExperimentConfig& cfg);
+
+/// Table IV: {UPX,PESpin,ASPack,MPass} x 5 AVs.
+std::vector<CellStats> obfuscation_grid(const ExperimentConfig& cfg);
+
+/// Table V: {Other-sec, MPass} x 5 AVs.
+std::vector<CellStats> other_sec_grid(const ExperimentConfig& cfg);
+
+/// Table VI: {Random-data, MPass} x 5 AVs.
+std::vector<CellStats> random_data_grid(const ExperimentConfig& cfg);
+
+/// Fig. 4: bypass-rate timeline under weekly AV signature learning.
+/// Returns bypass_rate[attack][round] (round 0 = 100 by construction),
+/// attacks ordered as in av_grid.
+struct LearningTimeline {
+  std::vector<std::string> attacks;
+  std::vector<std::string> avs;
+  // bypass[attack][av][round], percent.
+  std::vector<std::vector<std::vector<double>>> bypass;
+  std::size_t rounds = 5;
+};
+LearningTimeline av_learning_timeline(const ExperimentConfig& cfg);
+
+// ---- result cache ----------------------------------------------------------
+
+void save_cells(std::string_view key, const ExperimentConfig& cfg,
+                const std::vector<CellStats>& cells);
+std::optional<std::vector<CellStats>> load_cells(std::string_view key,
+                                                 const ExperimentConfig& cfg);
+
+/// Writes a grid as CSV (attack,target,n,successes,asr,avq,apr,functional)
+/// for external plotting; AE payloads are not exported.
+void export_csv(const std::filesystem::path& path,
+                const std::vector<CellStats>& cells);
+
+}  // namespace mpass::harness

@@ -1,0 +1,354 @@
+#include "isa/isa.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace mpass::isa {
+
+namespace {
+constexpr std::size_t kLengths[] = {
+    /*Nop*/ 1,   /*Halt*/ 1,  /*Movi*/ 6,   /*Movr*/ 3, /*Add*/ 3,
+    /*Sub*/ 3,   /*Xor*/ 3,   /*And*/ 3,    /*Or*/ 3,   /*Mul*/ 3,
+    /*Shl*/ 3,   /*Shr*/ 3,   /*Addi*/ 6,   /*Loadb*/ 3, /*Storeb*/ 3,
+    /*Loadw*/ 3, /*Storew*/ 3, /*Jmp*/ 5,   /*Jz*/ 6,   /*Jnz*/ 6,
+    /*Jlt*/ 7,   /*Call*/ 5,  /*Ret*/ 1,    /*Push*/ 2, /*Pop*/ 2,
+    /*Sys*/ 3,   /*Mod*/ 3,   /*Div*/ 3,
+};
+
+Reg reg_from(std::uint8_t b) {
+  if (b >= kNumRegs) throw util::ParseError("isa: bad register id");
+  return static_cast<Reg>(b);
+}
+}  // namespace
+
+std::size_t instr_length(Op op) {
+  return kLengths[static_cast<std::uint8_t>(op)];
+}
+
+bool is_branch(Op op) {
+  switch (op) {
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Call:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool valid_opcode(std::uint8_t byte) { return byte <= kMaxOpcode; }
+
+void encode(const Instr& in, util::ByteWriter& w) {
+  w.u8(static_cast<std::uint8_t>(in.op));
+  switch (in.op) {
+    case Op::Nop:
+    case Op::Halt:
+    case Op::Ret:
+      break;
+    case Op::Movi:
+    case Op::Addi:
+      w.u8(static_cast<std::uint8_t>(in.a));
+      w.u32(in.imm);
+      break;
+    case Op::Movr:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Xor:
+    case Op::And:
+    case Op::Or:
+    case Op::Mul:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Loadb:
+    case Op::Storeb:
+    case Op::Loadw:
+    case Op::Storew:
+    case Op::Mod:
+    case Op::Div:
+      w.u8(static_cast<std::uint8_t>(in.a));
+      w.u8(static_cast<std::uint8_t>(in.b));
+      break;
+    case Op::Jmp:
+    case Op::Call:
+      w.i32(in.rel);
+      break;
+    case Op::Jz:
+    case Op::Jnz:
+      w.u8(static_cast<std::uint8_t>(in.a));
+      w.i32(in.rel);
+      break;
+    case Op::Jlt:
+      w.u8(static_cast<std::uint8_t>(in.a));
+      w.u8(static_cast<std::uint8_t>(in.b));
+      w.i32(in.rel);
+      break;
+    case Op::Push:
+    case Op::Pop:
+      w.u8(static_cast<std::uint8_t>(in.a));
+      break;
+    case Op::Sys:
+      w.u16(static_cast<std::uint16_t>(in.imm));
+      break;
+  }
+}
+
+util::ByteBuf encode_all(std::span<const Instr> prog) {
+  util::ByteWriter w;
+  for (const Instr& in : prog) encode(in, w);
+  return w.take();
+}
+
+Instr decode(util::ByteReader& r) {
+  const std::uint8_t opb = r.u8();
+  if (!valid_opcode(opb)) throw util::ParseError("isa: bad opcode");
+  Instr in;
+  in.op = static_cast<Op>(opb);
+  switch (in.op) {
+    case Op::Nop:
+    case Op::Halt:
+    case Op::Ret:
+      break;
+    case Op::Movi:
+    case Op::Addi:
+      in.a = reg_from(r.u8());
+      in.imm = r.u32();
+      break;
+    case Op::Movr:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Xor:
+    case Op::And:
+    case Op::Or:
+    case Op::Mul:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Loadb:
+    case Op::Storeb:
+    case Op::Loadw:
+    case Op::Storew:
+    case Op::Mod:
+    case Op::Div:
+      in.a = reg_from(r.u8());
+      in.b = reg_from(r.u8());
+      break;
+    case Op::Jmp:
+    case Op::Call:
+      in.rel = r.i32();
+      break;
+    case Op::Jz:
+    case Op::Jnz:
+      in.a = reg_from(r.u8());
+      in.rel = r.i32();
+      break;
+    case Op::Jlt:
+      in.a = reg_from(r.u8());
+      in.b = reg_from(r.u8());
+      in.rel = r.i32();
+      break;
+    case Op::Push:
+    case Op::Pop:
+      in.a = reg_from(r.u8());
+      break;
+    case Op::Sys:
+      in.imm = r.u16();
+      break;
+  }
+  return in;
+}
+
+std::vector<Instr> decode_all(std::span<const std::uint8_t> code,
+                              std::vector<std::size_t>* offsets) {
+  util::ByteReader r(code);
+  std::vector<Instr> out;
+  while (!r.eof()) {
+    if (offsets) offsets->push_back(r.pos());
+    out.push_back(decode(r));
+  }
+  return out;
+}
+
+std::string to_string(const Instr& in) {
+  char buf[80];
+  auto rs = [](Reg r) { return static_cast<int>(r); };
+  switch (in.op) {
+    case Op::Nop: return "nop";
+    case Op::Halt: return "halt";
+    case Op::Ret: return "ret";
+    case Op::Movi:
+      std::snprintf(buf, sizeof(buf), "movi r%d, 0x%x", rs(in.a), in.imm);
+      return buf;
+    case Op::Addi:
+      std::snprintf(buf, sizeof(buf), "addi r%d, 0x%x", rs(in.a), in.imm);
+      return buf;
+    case Op::Movr:
+      std::snprintf(buf, sizeof(buf), "mov r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Add:
+      std::snprintf(buf, sizeof(buf), "add r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Sub:
+      std::snprintf(buf, sizeof(buf), "sub r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Xor:
+      std::snprintf(buf, sizeof(buf), "xor r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::And:
+      std::snprintf(buf, sizeof(buf), "and r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Or:
+      std::snprintf(buf, sizeof(buf), "or r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Mul:
+      std::snprintf(buf, sizeof(buf), "mul r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Shl:
+      std::snprintf(buf, sizeof(buf), "shl r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Shr:
+      std::snprintf(buf, sizeof(buf), "shr r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Mod:
+      std::snprintf(buf, sizeof(buf), "mod r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Div:
+      std::snprintf(buf, sizeof(buf), "div r%d, r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Loadb:
+      std::snprintf(buf, sizeof(buf), "loadb r%d, [r%d]", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Storeb:
+      std::snprintf(buf, sizeof(buf), "storeb [r%d], r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Loadw:
+      std::snprintf(buf, sizeof(buf), "loadw r%d, [r%d]", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Storew:
+      std::snprintf(buf, sizeof(buf), "storew [r%d], r%d", rs(in.a), rs(in.b));
+      return buf;
+    case Op::Jmp:
+      std::snprintf(buf, sizeof(buf), "jmp %+d", in.rel);
+      return buf;
+    case Op::Call:
+      std::snprintf(buf, sizeof(buf), "call %+d", in.rel);
+      return buf;
+    case Op::Jz:
+      std::snprintf(buf, sizeof(buf), "jz r%d, %+d", rs(in.a), in.rel);
+      return buf;
+    case Op::Jnz:
+      std::snprintf(buf, sizeof(buf), "jnz r%d, %+d", rs(in.a), in.rel);
+      return buf;
+    case Op::Jlt:
+      std::snprintf(buf, sizeof(buf), "jlt r%d, r%d, %+d", rs(in.a), rs(in.b),
+                    in.rel);
+      return buf;
+    case Op::Push:
+      std::snprintf(buf, sizeof(buf), "push r%d", rs(in.a));
+      return buf;
+    case Op::Pop:
+      std::snprintf(buf, sizeof(buf), "pop r%d", rs(in.a));
+      return buf;
+    case Op::Sys:
+      std::snprintf(buf, sizeof(buf), "sys 0x%x", in.imm);
+      return buf;
+  }
+  return "<?>";
+}
+
+std::string disassemble(std::span<const std::uint8_t> code) {
+  std::string out;
+  util::ByteReader r(code);
+  char head[32];
+  while (!r.eof()) {
+    std::snprintf(head, sizeof(head), "%06zx: ", r.pos());
+    out += head;
+    out += to_string(decode(r));
+    out += '\n';
+  }
+  return out;
+}
+
+Assembler::Label Assembler::make_label() {
+  labels_.emplace_back(std::nullopt);
+  return labels_.size() - 1;
+}
+
+void Assembler::bind(Label lbl) {
+  if (lbl >= labels_.size()) throw std::logic_error("assembler: bad label");
+  labels_[lbl] = items_.size();
+}
+
+void Assembler::jmp_va(std::uint32_t target_va) {
+  items_.push_back({Instr{Op::Jmp}, std::nullopt, target_va, {}, false});
+}
+
+void Assembler::raw(util::ByteBuf bytes) {
+  items_.push_back({Instr{}, std::nullopt, std::nullopt, std::move(bytes), true});
+}
+
+util::ByteBuf Assembler::finish(std::uint32_t base_va,
+                                std::vector<std::size_t>* item_offsets) const {
+  // Pass 1: compute byte offset of every item (fixed lengths).
+  std::vector<std::size_t> offset(items_.size() + 1, 0);
+  for (std::size_t i = 0; i < items_.size(); ++i)
+    offset[i + 1] = offset[i] + (items_[i].is_raw
+                                     ? items_[i].raw.size()
+                                     : instr_length(items_[i].instr.op));
+  if (item_offsets)
+    item_offsets->assign(offset.begin(), offset.end() - 1);
+
+  // Pass 2: resolve displacements and encode.
+  util::ByteWriter w;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].is_raw) {
+      w.block(items_[i].raw);
+      continue;
+    }
+    Instr in = items_[i].instr;
+    if (items_[i].target.has_value()) {
+      const Label lbl = *items_[i].target;
+      if (!labels_[lbl].has_value())
+        throw std::logic_error("assembler: branch to unbound label");
+      const std::size_t target_index = *labels_[lbl];
+      const std::size_t target_off =
+          target_index < offset.size() ? offset[target_index] : offset.back();
+      in.rel = static_cast<std::int32_t>(static_cast<std::int64_t>(target_off) -
+                                         static_cast<std::int64_t>(offset[i + 1]));
+    } else if (items_[i].target_va.has_value()) {
+      const std::int64_t next_va =
+          static_cast<std::int64_t>(base_va) +
+          static_cast<std::int64_t>(offset[i + 1]);
+      in.rel = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(*items_[i].target_va) - next_va);
+    }
+    encode(in, w);
+  }
+  return w.take();
+}
+
+bool branches_well_formed(std::span<const std::uint8_t> code) {
+  std::vector<std::size_t> offsets;
+  std::vector<Instr> prog;
+  try {
+    prog = decode_all(code, &offsets);
+  } catch (const util::ParseError&) {
+    return false;
+  }
+  std::set<std::size_t> boundaries(offsets.begin(), offsets.end());
+  boundaries.insert(code.size());
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (!is_branch(prog[i].op)) continue;
+    const std::int64_t next =
+        static_cast<std::int64_t>(offsets[i]) +
+        static_cast<std::int64_t>(instr_length(prog[i].op));
+    const std::int64_t target = next + prog[i].rel;
+    if (target < 0 || target > static_cast<std::int64_t>(code.size()))
+      return false;
+    if (!boundaries.contains(static_cast<std::size_t>(target))) return false;
+  }
+  return true;
+}
+
+}  // namespace mpass::isa

@@ -1,0 +1,195 @@
+// MVM: the mini instruction set that plays the role of x86 in this
+// reproduction (see DESIGN.md, substitution table).
+//
+// Properties that matter for MPass:
+//  * variable-length encoding      -> code bytes look like real ISA bytes to
+//                                     byte-level detectors (MalConv et al.);
+//  * rel32 branches/calls          -> the shuffle strategy must re-patch
+//                                     relative addresses, as in the paper;
+//  * syscalls with immediate ids   -> sensitive API invocations are visible
+//                                     in the section bytes, which is exactly
+//                                     the signal ML detectors learn.
+//
+// Encoding (little-endian immediates):
+//   op:1 [reg:1]* [imm32/rel32:4 | imm16:2]
+// Branch displacements are relative to the address of the *next* instruction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace mpass::isa {
+
+/// General-purpose registers r0..r7.
+enum class Reg : std::uint8_t { r0, r1, r2, r3, r4, r5, r6, r7 };
+inline constexpr int kNumRegs = 8;
+
+enum class Op : std::uint8_t {
+  Nop = 0x00,     // 1 byte
+  Halt = 0x01,    // 1
+  Movi = 0x02,    // 6: a, imm32
+  Movr = 0x03,    // 3: a <- b
+  Add = 0x04,     // 3: a += b
+  Sub = 0x05,     // 3
+  Xor = 0x06,     // 3
+  And = 0x07,     // 3
+  Or = 0x08,      // 3
+  Mul = 0x09,     // 3
+  Shl = 0x0A,     // 3 (by b & 31)
+  Shr = 0x0B,     // 3
+  Addi = 0x0C,    // 6: a += imm32
+  Loadb = 0x0D,   // 3: a <- byte [b]
+  Storeb = 0x0E,  // 3: byte [a] <- b
+  Loadw = 0x0F,   // 3: a <- u32 [b]
+  Storew = 0x10,  // 3: u32 [a] <- b
+  Jmp = 0x11,     // 5: rel32
+  Jz = 0x12,      // 6: a, rel32
+  Jnz = 0x13,     // 6: a, rel32
+  Jlt = 0x14,     // 7: a, b, rel32  (unsigned a < b)
+  Call = 0x15,    // 5: rel32
+  Ret = 0x16,     // 1
+  Push = 0x17,    // 2: a
+  Pop = 0x18,     // 2: a
+  Sys = 0x19,     // 3: imm16 api id; args r0..r3, result r0
+  Mod = 0x1A,     // 3: a %= b (b==0 -> 0)
+  Div = 0x1B,     // 3: a /= b (b==0 -> 0)
+};
+inline constexpr std::uint8_t kMaxOpcode = 0x1B;
+
+/// One decoded instruction.
+struct Instr {
+  Op op = Op::Nop;
+  Reg a = Reg::r0;
+  Reg b = Reg::r0;
+  std::uint32_t imm = 0;  // Movi/Addi imm32, Sys imm16
+  std::int32_t rel = 0;   // branch displacement (from next instruction)
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Encoded length in bytes of an instruction with this opcode.
+std::size_t instr_length(Op op);
+
+/// True for Jmp/Jz/Jnz/Jlt/Call.
+bool is_branch(Op op);
+
+/// Whether the opcode byte is a defined MVM opcode.
+bool valid_opcode(std::uint8_t byte);
+
+/// Appends the encoding of in to w.
+void encode(const Instr& in, util::ByteWriter& w);
+
+/// Encodes a whole instruction list.
+util::ByteBuf encode_all(std::span<const Instr> prog);
+
+/// Decodes one instruction; throws util::ParseError on bad opcode/truncation.
+Instr decode(util::ByteReader& r);
+
+/// Decodes an entire buffer into instructions; offsets[i] is the byte offset
+/// of instruction i. Throws on malformed streams.
+std::vector<Instr> decode_all(std::span<const std::uint8_t> code,
+                              std::vector<std::size_t>* offsets = nullptr);
+
+/// Human-readable disassembly of one instruction.
+std::string to_string(const Instr& in);
+
+/// Multi-line disassembly with byte offsets.
+std::string disassemble(std::span<const std::uint8_t> code);
+
+// --------------------------------------------------------------------------
+// Label-based assembler. Branch targets are symbolic labels resolved in
+// finish(); this is the primitive both the program generator (corpus) and
+// the MPass shuffle strategy build on -- re-assembly after reordering is how
+// relative addresses get re-patched.
+// --------------------------------------------------------------------------
+
+class Assembler {
+ public:
+  using Label = std::size_t;
+
+  /// Creates a fresh unbound label.
+  Label make_label();
+
+  /// Binds lbl to the current position (before the next emitted instruction).
+  void bind(Label lbl);
+
+  // Plain instructions.
+  void nop() { emit({Op::Nop}); }
+  void halt() { emit({Op::Halt}); }
+  void movi(Reg r, std::uint32_t v) { emit({Op::Movi, r, Reg::r0, v, 0}); }
+  void movr(Reg d, Reg s) { emit({Op::Movr, d, s}); }
+  void add(Reg d, Reg s) { emit({Op::Add, d, s}); }
+  void sub(Reg d, Reg s) { emit({Op::Sub, d, s}); }
+  void xor_(Reg d, Reg s) { emit({Op::Xor, d, s}); }
+  void and_(Reg d, Reg s) { emit({Op::And, d, s}); }
+  void or_(Reg d, Reg s) { emit({Op::Or, d, s}); }
+  void mul(Reg d, Reg s) { emit({Op::Mul, d, s}); }
+  void shl(Reg d, Reg s) { emit({Op::Shl, d, s}); }
+  void shr(Reg d, Reg s) { emit({Op::Shr, d, s}); }
+  void addi(Reg r, std::uint32_t v) { emit({Op::Addi, r, Reg::r0, v, 0}); }
+  void loadb(Reg d, Reg addr) { emit({Op::Loadb, d, addr}); }
+  void storeb(Reg addr, Reg s) { emit({Op::Storeb, addr, s}); }
+  void loadw(Reg d, Reg addr) { emit({Op::Loadw, d, addr}); }
+  void storew(Reg addr, Reg s) { emit({Op::Storew, addr, s}); }
+  void ret() { emit({Op::Ret}); }
+  void push(Reg r) { emit({Op::Push, r}); }
+  void pop(Reg r) { emit({Op::Pop, r}); }
+  void sys(std::uint16_t api) { emit({Op::Sys, Reg::r0, Reg::r0, api, 0}); }
+  void mod(Reg d, Reg s) { emit({Op::Mod, d, s}); }
+  void div(Reg d, Reg s) { emit({Op::Div, d, s}); }
+
+  // Branches to labels.
+  void jmp(Label l) { emit_branch({Op::Jmp}, l); }
+  void jz(Reg r, Label l) { emit_branch({Op::Jz, r}, l); }
+  void jnz(Reg r, Label l) { emit_branch({Op::Jnz, r}, l); }
+  void jlt(Reg a, Reg b, Label l) { emit_branch({Op::Jlt, a, b}, l); }
+  void call(Label l) { emit_branch({Op::Call}, l); }
+
+  /// Branch with an absolute displacement already known (e.g. jump to a
+  /// virtual address outside this fragment). target_va is resolved against
+  /// base_va passed to finish().
+  void jmp_va(std::uint32_t target_va);
+
+  /// Emits raw non-instruction bytes (never-executed gap/data content --
+  /// the shuffle strategy's perturbation slots land here).
+  void raw(util::ByteBuf bytes);
+
+  /// Number of items (instructions + raw blocks) emitted so far.
+  std::size_t size() const { return items_.size(); }
+
+  /// Resolves labels and emits machine code as laid out from base_va.
+  /// Throws std::logic_error on unbound labels referenced by branches.
+  /// If item_offsets is non-null it receives the byte offset of every
+  /// emitted item (same indexing as emission order).
+  util::ByteBuf finish(std::uint32_t base_va = 0,
+                       std::vector<std::size_t>* item_offsets = nullptr) const;
+
+ private:
+  struct Item {
+    Instr instr;
+    std::optional<Label> target;         // symbolic branch target
+    std::optional<std::uint32_t> target_va;  // absolute branch target
+    util::ByteBuf raw;                   // non-empty => raw data item
+    bool is_raw = false;
+  };
+
+  void emit(Instr in) { items_.push_back({in, std::nullopt, std::nullopt, {}, false}); }
+  void emit_branch(Instr in, Label l) {
+    items_.push_back({in, l, std::nullopt, {}, false});
+  }
+
+  std::vector<Item> items_;
+  // label -> instruction index it precedes (bound), or nullopt.
+  std::vector<std::optional<std::size_t>> labels_;
+};
+
+/// Checks that every branch in code lands on an instruction boundary inside
+/// [0, code.size()) (or exactly at end). Returns false on any violation or
+/// decode error. Used by property tests for the shuffle strategy.
+bool branches_well_formed(std::span<const std::uint8_t> code);
+
+}  // namespace mpass::isa

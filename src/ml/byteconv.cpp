@@ -1,0 +1,346 @@
+#include "ml/byteconv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpass::ml {
+
+namespace {
+constexpr int kVocab = 257;  // 256 byte values + padding token
+constexpr int kPad = 256;
+
+inline float sigmoidf(float x) {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+}  // namespace
+
+float bce_loss(float prob, float target) {
+  const float p = std::clamp(prob, 1e-7f, 1.0f - 1e-7f);
+  return -(target * std::log(p) + (1.0f - target) * std::log(1.0f - p));
+}
+
+ByteConvNet::ByteConvNet(const ByteConvConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg) {
+  const int d = cfg_.embed_dim;
+  const int F = cfg_.filters;
+  const int W = cfg_.width;
+  const int H = cfg_.hidden;
+  emb_ = &params_.create("emb", static_cast<std::size_t>(kVocab) * d);
+  wa_ = &params_.create("wa", static_cast<std::size_t>(F) * W * d);
+  ba_ = &params_.create("ba", F);
+  wb_ = &params_.create("wb", static_cast<std::size_t>(F) * W * d);
+  bb_ = &params_.create("bb", F);
+  const int gsize = cfg_.channel_gating ? F : 0;
+  wg_ = &params_.create("wg", static_cast<std::size_t>(gsize) * gsize);
+  bg_ = &params_.create("bg", gsize);
+  w1_ = &params_.create("w1", static_cast<std::size_t>(H) * F);
+  b1_ = &params_.create("b1", H);
+  w2_ = &params_.create("w2", H);
+  b2_ = &params_.create("b2", 1);
+
+  util::Rng rng(seed);
+  auto init = [&](Param& p, float scale) {
+    for (float& w : p.w) w = static_cast<float>(rng.gaussian(0.0, scale));
+  };
+  init(*emb_, 0.3f);
+  init(*wa_, 1.0f / std::sqrt(static_cast<float>(W * d)));
+  init(*wb_, 1.0f / std::sqrt(static_cast<float>(W * d)));
+  if (cfg_.channel_gating)
+    init(*wg_, 1.0f / std::sqrt(static_cast<float>(F)));
+  init(*w1_, 1.0f / std::sqrt(static_cast<float>(F)));
+  init(*w2_, 1.0f / std::sqrt(static_cast<float>(H)));
+  if (cfg_.nonneg) clamp_nonneg();
+}
+
+ByteConvNet::ByteConvNet(const ByteConvNet& other)
+    : cfg_(other.cfg_), params_(other.params_) {
+  // Re-bind the layer pointers into the copied ParamSet (same order as the
+  // constructor created them).
+  auto& all = params_.all();
+  std::size_t i = 0;
+  emb_ = all[i++];
+  wa_ = all[i++];
+  ba_ = all[i++];
+  wb_ = all[i++];
+  bb_ = all[i++];
+  wg_ = all[i++];
+  bg_ = all[i++];
+  w1_ = all[i++];
+  b1_ = all[i++];
+  w2_ = all[i++];
+  b2_ = all[i++];
+}
+
+std::size_t ByteConvNet::time_steps(std::size_t n_tokens) const {
+  if (n_tokens < static_cast<std::size_t>(cfg_.width)) return 0;
+  return (n_tokens - cfg_.width) / cfg_.stride + 1;
+}
+
+float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
+  const int d = cfg_.embed_dim;
+  const int F = cfg_.filters;
+  const int W = cfg_.width;
+  const int S = cfg_.stride;
+  const int H = cfg_.hidden;
+
+  // Tokenize: truncate to L, pad (with the pad token) up to one window.
+  std::size_t n = std::min(bytes.size(), cfg_.max_len);
+  const std::size_t n_tok =
+      std::max<std::size_t>(n, static_cast<std::size_t>(W));
+  tokens_.resize(n_tok);
+  for (std::size_t t = 0; t < n_tok; ++t)
+    tokens_[t] = t < n ? static_cast<int>(bytes[t]) : kPad;
+
+  // Embedding.
+  x_.resize(n_tok * d);
+  for (std::size_t t = 0; t < n_tok; ++t) {
+    const float* row = emb_->w.data() + tokens_[t] * d;
+    std::copy_n(row, d, x_.data() + t * d);
+  }
+
+  // Convolutions + gating.
+  const std::size_t T = time_steps(n_tok);
+  a_.assign(T * F, 0.0f);
+  b_.assign(T * F, 0.0f);
+  h_.assign(T * F, 0.0f);
+  const int window = W * d;
+  for (std::size_t p = 0; p < T; ++p) {
+    const float* win = x_.data() + p * S * d;
+    float* ap = a_.data() + p * F;
+    float* bp = b_.data() + p * F;
+    for (int f = 0; f < F; ++f) {
+      const float* wra = wa_->w.data() + static_cast<std::size_t>(f) * window;
+      const float* wrb = wb_->w.data() + static_cast<std::size_t>(f) * window;
+      float sa = ba_->w[f];
+      float sb = bb_->w[f];
+      for (int i = 0; i < window; ++i) {
+        sa += wra[i] * win[i];
+        sb += wrb[i] * win[i];
+      }
+      ap[f] = sa;
+      bp[f] = sb;
+    }
+    float* hp = h_.data() + p * F;
+    for (int f = 0; f < F; ++f)
+      hp[f] = cfg_.gated ? ap[f] * sigmoidf(bp[f]) : std::max(0.0f, ap[f]);
+  }
+
+  // Global channel gating (MalGCG).
+  gate_.assign(F, 1.0f);
+  ctx_.assign(F, 0.0f);
+  if (cfg_.channel_gating && T > 0) {
+    for (std::size_t p = 0; p < T; ++p)
+      for (int f = 0; f < F; ++f) ctx_[f] += h_[p * F + f];
+    for (int f = 0; f < F; ++f) ctx_[f] /= static_cast<float>(T);
+    for (int f = 0; f < F; ++f) {
+      float s = bg_->w[f];
+      for (int j = 0; j < F; ++j) s += wg_->w[f * F + j] * ctx_[j];
+      gate_[f] = sigmoidf(s);
+    }
+  }
+
+  // Global max pooling (over gated features).
+  pooled_.assign(F, 0.0f);
+  argmax_.assign(F, -1);
+  for (int f = 0; f < F; ++f) {
+    float best = -1e30f;
+    int bi = -1;
+    for (std::size_t p = 0; p < T; ++p) {
+      const float v = h_[p * F + f] * gate_[f];
+      if (v > best) {
+        best = v;
+        bi = static_cast<int>(p);
+      }
+    }
+    pooled_[f] = T > 0 ? best : 0.0f;
+    argmax_[f] = bi;
+  }
+
+  // Dense head.
+  u_.assign(H, 0.0f);
+  for (int i = 0; i < H; ++i) {
+    float s = b1_->w[i];
+    for (int f = 0; f < F; ++f) s += w1_->w[i * F + f] * pooled_[f];
+    u_[i] = std::max(0.0f, s);
+  }
+  z_ = b2_->w[0];
+  for (int i = 0; i < H; ++i) z_ += w2_->w[i] * u_[i];
+  prob_ = sigmoidf(z_);
+  return prob_;
+}
+
+float ByteConvNet::backward(float target, std::vector<float>* input_grad,
+                            bool accumulate_params, float soft_pool_tau) {
+  const int d = cfg_.embed_dim;
+  const int F = cfg_.filters;
+  const int W = cfg_.width;
+  const int S = cfg_.stride;
+  const int H = cfg_.hidden;
+  const std::size_t T = time_steps(tokens_.size());
+
+  const float loss = bce_loss(prob_, target);
+  const float dz = prob_ - target;  // dBCE/dlogit
+
+  // Dense head.
+  std::vector<float> du(H);
+  for (int i = 0; i < H; ++i) du[i] = u_[i] > 0.0f ? dz * w2_->w[i] : 0.0f;
+  std::vector<float> dpool(F, 0.0f);
+  for (int i = 0; i < H; ++i)
+    for (int f = 0; f < F; ++f) dpool[f] += du[i] * w1_->w[i * F + f];
+  if (accumulate_params) {
+    b2_->g[0] += dz;
+    for (int i = 0; i < H; ++i) w2_->g[i] += dz * u_[i];
+    for (int i = 0; i < H; ++i) {
+      b1_->g[i] += du[i];
+      for (int f = 0; f < F; ++f) w1_->g[i * F + f] += du[i] * pooled_[f];
+    }
+  }
+
+  // Through max pool (+ channel gating).
+  std::vector<float> dh(T * F, 0.0f);
+  std::vector<float> dgate(F, 0.0f);
+  if (soft_pool_tau > 0.0f && T > 0) {
+    // Softmax-pool surrogate: weight each window by exp(value/tau).
+    const float inv_tau = 1.0f / soft_pool_tau;
+    for (int f = 0; f < F; ++f) {
+      const float peak = pooled_[f];
+      float z = 0.0f;
+      for (std::size_t p = 0; p < T; ++p)
+        z += std::exp((h_[p * F + f] * gate_[f] - peak) * inv_tau);
+      if (z <= 0.0f) continue;
+      for (std::size_t p = 0; p < T; ++p) {
+        const float w =
+            std::exp((h_[p * F + f] * gate_[f] - peak) * inv_tau) / z;
+        dh[p * F + f] += dpool[f] * gate_[f] * w;
+        dgate[f] += dpool[f] * h_[p * F + f] * w;
+      }
+    }
+  } else {
+    for (int f = 0; f < F; ++f) {
+      if (argmax_[f] < 0) continue;
+      const std::size_t p = static_cast<std::size_t>(argmax_[f]);
+      dh[p * F + f] += dpool[f] * gate_[f];
+      dgate[f] += dpool[f] * h_[p * F + f];
+    }
+  }
+  if (cfg_.channel_gating && T > 0) {
+    std::vector<float> dpre(F);
+    for (int f = 0; f < F; ++f)
+      dpre[f] = dgate[f] * gate_[f] * (1.0f - gate_[f]);
+    std::vector<float> dctx(F, 0.0f);
+    for (int f = 0; f < F; ++f)
+      for (int j = 0; j < F; ++j) dctx[j] += dpre[f] * wg_->w[f * F + j];
+    if (accumulate_params) {
+      for (int f = 0; f < F; ++f) {
+        bg_->g[f] += dpre[f];
+        for (int j = 0; j < F; ++j) wg_->g[f * F + j] += dpre[f] * ctx_[j];
+      }
+    }
+    const float inv_t = 1.0f / static_cast<float>(T);
+    for (std::size_t p = 0; p < T; ++p)
+      for (int f = 0; f < F; ++f) dh[p * F + f] += dctx[f] * inv_t;
+  }
+
+  // Through gating + convolutions into the embedded input.
+  std::vector<float> dx(x_.size(), 0.0f);
+  const int window = W * d;
+  for (std::size_t p = 0; p < T; ++p) {
+    const float* hp_a = a_.data() + p * F;
+    const float* hp_b = b_.data() + p * F;
+    const float* win = x_.data() + p * S * d;
+    float* dwin = dx.data() + p * S * d;
+    for (int f = 0; f < F; ++f) {
+      const float g = dh[p * F + f];
+      if (g == 0.0f) continue;
+      float da, db;
+      if (cfg_.gated) {
+        const float sb = sigmoidf(hp_b[f]);
+        da = g * sb;
+        db = g * hp_a[f] * sb * (1.0f - sb);
+      } else {
+        da = hp_a[f] > 0.0f ? g : 0.0f;
+        db = 0.0f;
+      }
+      const float* wra = wa_->w.data() + static_cast<std::size_t>(f) * window;
+      const float* wrb = wb_->w.data() + static_cast<std::size_t>(f) * window;
+      if (accumulate_params) {
+        float* gra = wa_->g.data() + static_cast<std::size_t>(f) * window;
+        float* grb = wb_->g.data() + static_cast<std::size_t>(f) * window;
+        for (int i = 0; i < window; ++i) {
+          gra[i] += da * win[i];
+          dwin[i] += da * wra[i];
+          if (cfg_.gated) {
+            grb[i] += db * win[i];
+            dwin[i] += db * wrb[i];
+          }
+        }
+        ba_->g[f] += da;
+        if (cfg_.gated) bb_->g[f] += db;
+      } else {
+        for (int i = 0; i < window; ++i) {
+          dwin[i] += da * wra[i];
+          if (cfg_.gated) dwin[i] += db * wrb[i];
+        }
+      }
+    }
+  }
+
+  // Embedding gradients.
+  if (accumulate_params) {
+    for (std::size_t t = 0; t < tokens_.size(); ++t) {
+      float* row = emb_->g.data() + tokens_[t] * d;
+      for (int k = 0; k < d; ++k) row[k] += dx[t * d + k];
+    }
+  }
+  if (input_grad) *input_grad = std::move(dx);
+  return loss;
+}
+
+std::span<const float> ByteConvNet::embedding_row(int token) const {
+  return {emb_->w.data() + static_cast<std::size_t>(token) * cfg_.embed_dim,
+          static_cast<std::size_t>(cfg_.embed_dim)};
+}
+
+void ByteConvNet::clamp_nonneg() {
+  if (!cfg_.nonneg) return;
+  for (Param* p : {w1_, w2_})
+    for (float& w : p->w) w = std::max(0.0f, w);
+}
+
+void ByteConvNet::save(util::Archive& ar) const {
+  ar.tag("byteconv");
+  ar.u32(static_cast<std::uint32_t>(cfg_.max_len));
+  ar.u32(static_cast<std::uint32_t>(cfg_.embed_dim));
+  ar.u32(static_cast<std::uint32_t>(cfg_.filters));
+  ar.u32(static_cast<std::uint32_t>(cfg_.width));
+  ar.u32(static_cast<std::uint32_t>(cfg_.stride));
+  ar.u32(static_cast<std::uint32_t>(cfg_.hidden));
+  ar.u32((cfg_.gated ? 1u : 0u) | (cfg_.channel_gating ? 2u : 0u) |
+         (cfg_.nonneg ? 4u : 0u));
+  params_.save(ar);
+}
+
+void ByteConvNet::load(util::Unarchive& ar) {
+  ar.tag("byteconv");
+  ByteConvConfig cfg;
+  cfg.max_len = ar.u32();
+  cfg.embed_dim = static_cast<int>(ar.u32());
+  cfg.filters = static_cast<int>(ar.u32());
+  cfg.width = static_cast<int>(ar.u32());
+  cfg.stride = static_cast<int>(ar.u32());
+  cfg.hidden = static_cast<int>(ar.u32());
+  const std::uint32_t flags = ar.u32();
+  cfg.gated = flags & 1;
+  cfg.channel_gating = (flags & 2) != 0;
+  cfg.nonneg = (flags & 4) != 0;
+  // Architectures must match the constructed net (params are pre-created).
+  if (cfg.max_len != cfg_.max_len || cfg.embed_dim != cfg_.embed_dim ||
+      cfg.filters != cfg_.filters || cfg.width != cfg_.width ||
+      cfg.stride != cfg_.stride || cfg.hidden != cfg_.hidden ||
+      cfg.gated != cfg_.gated || cfg.channel_gating != cfg_.channel_gating ||
+      cfg.nonneg != cfg_.nonneg)
+    throw util::ParseError("byteconv: config mismatch");
+  params_.load(ar);
+}
+
+}  // namespace mpass::ml

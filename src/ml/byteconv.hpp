@@ -1,0 +1,114 @@
+// Gated convolutional byte classifier: the shared architecture behind the
+// MalConv, NonNeg and MalGCG detectors (Raff et al. 2018; Fleshman et al.
+// 2018; Raff et al. 2021 -- see DESIGN.md).
+//
+//   bytes -> embedding (257 x d, token 256 = padding)
+//         -> two parallel 1-D convolutions A, B (F filters, width W, stride S)
+//         -> gating  h = A * sigmoid(B)
+//         -> [MalGCG only] global channel gating g = sigmoid(Wg * mean_t h)
+//         -> global max pool over time
+//         -> dense H relu -> dense 1 -> sigmoid
+//
+// The net exposes embedding-space input gradients, which is what the MPass
+// optimization step consumes (paper §III-D: "perturbations are first lifted
+// to feature vectors using the embedding layer").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/param.hpp"
+
+namespace mpass::ml {
+
+struct ByteConvConfig {
+  std::size_t max_len = 16384;  // input truncation length L
+  int embed_dim = 8;            // d
+  int filters = 16;             // F
+  int width = 32;               // W
+  int stride = 16;              // S
+  int hidden = 16;              // H
+  bool gated = true;            // A * sigmoid(B) (vs relu(A))
+  bool channel_gating = false;  // MalGCG global channel gating
+  bool nonneg = false;          // clamp dense weights >= 0 after updates
+};
+
+class ByteConvNet {
+ public:
+  ByteConvNet(const ByteConvConfig& cfg, std::uint64_t seed);
+
+  /// Deep copy (independent parameters + caches). Concurrent attacks clone
+  /// the known models so forward-pass caches never race across threads.
+  ByteConvNet(const ByteConvNet& other);
+  ByteConvNet& operator=(const ByteConvNet&) = delete;
+
+  /// Probability the sample is malicious. Caches activations for backward.
+  float forward(std::span<const std::uint8_t> bytes);
+
+  /// Backprop of BCE(prob, target) for the last forward() input.
+  /// If input_grad is non-null it receives dLoss/dEmbedding, laid out
+  /// [position * embed_dim + k] over the positions actually consumed
+  /// (tokens() entries). If accumulate_params is false, parameter gradients
+  /// are left untouched (attack mode).
+  ///
+  /// soft_pool_tau > 0 replaces the max-pool gradient with a softmax-pool
+  /// surrogate of that temperature: gradient flows into *every* window
+  /// weighted by its activation instead of only the argmax window. The
+  /// forward pass (and hence the loss) is unchanged; this is the standard
+  /// trick for optimizing adversarial bytes against max-pooled conv nets,
+  /// which are otherwise first-order-blind beyond the current argmax.
+  /// Returns the BCE loss value.
+  float backward(float target, std::vector<float>* input_grad = nullptr,
+                 bool accumulate_params = true, float soft_pool_tau = 0.0f);
+
+  /// Number of byte positions consumed by the last forward (<= max_len).
+  std::size_t consumed() const { return tokens_.size(); }
+
+  /// Embedding row of a token (0..256).
+  std::span<const float> embedding_row(int token) const;
+
+  /// Applies the non-negativity constraint (no-op unless cfg.nonneg).
+  void clamp_nonneg();
+
+  const ByteConvConfig& config() const { return cfg_; }
+  ParamSet& params() { return params_; }
+
+  void save(util::Archive& ar) const;
+  void load(util::Unarchive& ar);
+
+ private:
+  std::size_t time_steps(std::size_t n_tokens) const;
+
+  ByteConvConfig cfg_;
+  ParamSet params_;
+  Param* emb_;   // 257 x d
+  Param* wa_;    // F x (W*d)
+  Param* ba_;    // F
+  Param* wb_;    // F x (W*d)
+  Param* bb_;    // F
+  Param* wg_;    // F x F (channel gating; empty unless enabled)
+  Param* bg_;    // F
+  Param* w1_;    // H x F
+  Param* b1_;    // H
+  Param* w2_;    // 1 x H
+  Param* b2_;    // 1
+
+  // Forward caches.
+  std::vector<int> tokens_;
+  std::vector<float> x_;      // embedded input, T_in x d
+  std::vector<float> a_, b_;  // conv pre-activations, T x F
+  std::vector<float> h_;      // gated features, T x F
+  std::vector<float> ctx_;    // mean-pooled context, F
+  std::vector<float> gate_;   // channel gates, F
+  std::vector<float> pooled_; // F
+  std::vector<int> argmax_;   // F
+  std::vector<float> u_;      // hidden, H
+  float z_ = 0.0f;            // logit
+  float prob_ = 0.5f;
+};
+
+/// Numerically safe binary cross-entropy on a probability.
+float bce_loss(float prob, float target);
+
+}  // namespace mpass::ml

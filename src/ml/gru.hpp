@@ -1,0 +1,66 @@
+// GRU byte-level language model: the generative substrate of the MalRNN
+// baseline (Ebrahimi et al. 2020), trained on benign program bytes and
+// sampled to produce benign-looking append payloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/param.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::ml {
+
+struct GruLmConfig {
+  int embed = 16;
+  int hidden = 48;
+  int vocab = 257;  // 256 bytes + start-of-stream token
+  int bptt = 96;    // training window length
+};
+
+class GruLm {
+ public:
+  GruLm(const GruLmConfig& cfg, std::uint64_t seed);
+
+  /// One training pass over `windows` randomly sampled byte windows drawn
+  /// from the corpus streams. Returns mean cross-entropy (nats/byte).
+  float train_epoch(const std::vector<util::ByteBuf>& corpus,
+                    std::size_t windows, float lr, util::Rng& rng);
+
+  /// Samples n bytes autoregressively, optionally conditioned on a context
+  /// prefix; temperature < 1 sharpens toward the learned benign statistics.
+  util::ByteBuf generate(std::size_t n, util::Rng& rng,
+                         std::span<const std::uint8_t> context = {},
+                         float temperature = 0.8f);
+
+  /// Mean cross-entropy of a byte sequence under the model (nats/byte).
+  float evaluate(std::span<const std::uint8_t> bytes);
+
+  const GruLmConfig& config() const { return cfg_; }
+
+  void save(util::Archive& ar) const;
+  void load(util::Unarchive& ar);
+
+ private:
+  struct StepCache;
+
+  /// One GRU step; returns new hidden state, fills cache if given.
+  void step(int token, std::vector<float>& h, StepCache* cache) const;
+
+  /// Softmax over logits of hidden state h.
+  std::vector<float> output_probs(const std::vector<float>& h) const;
+
+  GruLmConfig cfg_;
+  ParamSet params_;
+  Param* emb_;                 // vocab x embed
+  Param* wz_; Param* uz_; Param* bz_;
+  Param* wr_; Param* ur_; Param* br_;
+  Param* wn_; Param* un_; Param* bn_;
+  Param* wo_; Param* bo_;      // vocab x hidden output head
+  std::unique_ptr<Adam> opt_;
+};
+
+}  // namespace mpass::ml

@@ -1,0 +1,49 @@
+#include "ml/param.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mpass::ml {
+
+void ParamSet::load(util::Unarchive& ar) {
+  ar.tag("params");
+  const std::uint32_t n = ar.u32();
+  if (n != params_.size())
+    throw util::ParseError("params: count mismatch");
+  for (Param* p : params_) {
+    const std::string name = ar.str();
+    std::vector<float> w = ar.floats();
+    if (name != p->name || w.size() != p->w.size())
+      throw util::ParseError("params: layout mismatch at " + name);
+    p->w = std::move(w);
+  }
+}
+
+Adam::Adam(ParamSet& params, float lr, float beta1, float beta2, float eps)
+    : params_(params), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (Param* p : params_.all()) {
+    m_.emplace_back(p->size(), 0.0f);
+    v_.emplace_back(p->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const auto& params = params_.all();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float g = p.g[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      p.w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    std::fill(p.g.begin(), p.g.end(), 0.0f);
+  }
+}
+
+}  // namespace mpass::ml

@@ -1,0 +1,67 @@
+#include "pe/import.hpp"
+
+#include "util/bytes.hpp"
+
+namespace mpass::pe {
+
+namespace {
+constexpr std::uint32_t kImportMagic = 0x31504D49;  // 'IMP1'
+}
+
+ByteBuf encode_imports(std::span<const Import> imports) {
+  util::ByteWriter w;
+  w.u32(kImportMagic);
+  w.u32(static_cast<std::uint32_t>(imports.size()));
+  for (const Import& imp : imports) {
+    w.u16(imp.api_id);
+    w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(imp.name.size(), 255)));
+    w.block(util::as_bytes(std::string_view(imp.name).substr(0, 255)));
+  }
+  return w.take();
+}
+
+std::vector<Import> decode_imports(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  if (r.u32() != kImportMagic) throw util::ParseError("imports: bad magic");
+  const std::uint32_t count = r.u32();
+  std::vector<Import> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Import imp;
+    imp.api_id = r.u16();
+    const std::uint8_t len = r.u8();
+    imp.name = r.fixed_string(len);
+    out.push_back(std::move(imp));
+  }
+  return out;
+}
+
+std::size_t attach_import_section(PeFile& file,
+                                  std::span<const Import> imports) {
+  ByteBuf blob = encode_imports(imports);
+  const std::uint32_t size = static_cast<std::uint32_t>(blob.size());
+  const std::size_t idx = file.add_section(
+      ".idata", std::move(blob), kScnInitializedData | kScnMemRead);
+  file.dirs[kDirImport].rva = file.sections[idx].vaddr;
+  file.dirs[kDirImport].size = size;
+  return idx;
+}
+
+std::vector<Import> read_imports(const PeFile& file) {
+  const DataDirectory& dir = file.dirs[kDirImport];
+  if (dir.rva == 0 || dir.size == 0) return {};
+  const auto sec = file.section_by_rva(dir.rva);
+  if (!sec) return {};
+  const Section& s = file.sections[*sec];
+  const std::uint32_t off = dir.rva - s.vaddr;
+  if (off >= s.data.size()) return {};
+  const std::size_t avail = s.data.size() - off;
+  const std::size_t len = std::min<std::size_t>(dir.size, avail);
+  try {
+    return decode_imports({s.data.data() + off, len});
+  } catch (const util::ParseError&) {
+    return {};  // adversarially corrupted import tables yield no imports
+  }
+}
+
+}  // namespace mpass::pe

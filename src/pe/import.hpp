@@ -1,0 +1,40 @@
+// Compact import table. The PE data-directory entry and section plumbing are
+// standard; the in-section record format is simplified (see DESIGN.md):
+//
+//   u32 magic 'IMP1' | u32 count | count * { u16 api_id | u8 len | name }
+//
+// api_id matches the MVM SYS immediate for the imported API, so the import
+// table is consistent with the code section -- static detectors featurize
+// both, as EMBER does for real imports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pe/pe.hpp"
+
+namespace mpass::pe {
+
+struct Import {
+  std::uint16_t api_id = 0;
+  std::string name;
+  bool operator==(const Import&) const = default;
+};
+
+/// Serializes an import list to the in-section record format.
+ByteBuf encode_imports(std::span<const Import> imports);
+
+/// Parses the record format; throws util::ParseError on malformed data.
+std::vector<Import> decode_imports(std::span<const std::uint8_t> data);
+
+/// Adds an ".idata" section holding the imports and points the import data
+/// directory at it. Returns the section index.
+std::size_t attach_import_section(PeFile& file, std::span<const Import> imports);
+
+/// Reads the import list via the import data directory; empty if the
+/// directory is unset or malformed (tolerant: detectors must not crash on
+/// adversarial files).
+std::vector<Import> read_imports(const PeFile& file);
+
+}  // namespace mpass::pe

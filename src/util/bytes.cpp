@@ -1,0 +1,20 @@
+#include "util/bytes.hpp"
+
+namespace mpass::util {
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+ByteBuf to_bytes(std::string_view s) {
+  return ByteBuf(s.begin(), s.end());
+}
+
+}  // namespace mpass::util

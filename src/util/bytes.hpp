@@ -1,0 +1,181 @@
+// Byte-buffer primitives: little-endian scalar IO, hex formatting, and a
+// cursor-based reader/writer used by the PE parser and the ISA codec.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpass::util {
+
+using ByteBuf = std::vector<std::uint8_t>;
+
+/// Thrown on malformed input (truncated PE, bad instruction encoding, ...).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// ---- little-endian scalar IO on raw memory -------------------------------
+
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;  // host assumed little-endian (x86/ARM64 linux)
+}
+
+template <typename T>
+void write_le(std::uint8_t* p, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(p, &v, sizeof(T));
+}
+
+// ---- bounds-checked cursor reader ----------------------------------------
+
+/// Reads scalars/blocks from a byte span, throwing ParseError past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t pos() const { return pos_; }
+  std::size_t size() const { return data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool eof() const { return pos_ >= data_.size(); }
+
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw ParseError("seek past end of buffer");
+    pos_ = pos;
+  }
+
+  void skip(std::size_t n) { seek(pos_ + n); }
+
+  template <typename T>
+  T read() {
+    require(sizeof(T));
+    T v = read_le<T>(data_.data() + pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint16_t u16() { return read<std::uint16_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::int32_t i32() { return read<std::int32_t>(); }
+
+  /// Copies n bytes out.
+  ByteBuf block(std::size_t n) {
+    require(n);
+    ByteBuf out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  /// Zero-copy view of the next n bytes.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    require(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Fixed-width field interpreted as a NUL-padded ASCII string.
+  std::string fixed_string(std::size_t n) {
+    auto v = view(n);
+    std::size_t len = 0;
+    while (len < n && v[len] != 0) ++len;
+    return std::string(reinterpret_cast<const char*>(v.data()), len);
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw ParseError("read past end of buffer");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- appending writer -----------------------------------------------------
+
+/// Appends scalars/blocks to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(ByteBuf initial) : buf_(std::move(initial)) {}
+
+  std::size_t size() const { return buf_.size(); }
+  const ByteBuf& buffer() const { return buf_; }
+  ByteBuf take() { return std::move(buf_); }
+
+  template <typename T>
+  void write(T v) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    write_le<T>(buf_.data() + at, v);
+  }
+
+  void u8(std::uint8_t v) { write(v); }
+  void u16(std::uint16_t v) { write(v); }
+  void u32(std::uint32_t v) { write(v); }
+  void u64(std::uint64_t v) { write(v); }
+  void i32(std::int32_t v) { write(v); }
+
+  void block(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void zeros(std::size_t n) { buf_.resize(buf_.size() + n, 0); }
+
+  /// Writes s truncated/zero-padded to exactly n bytes.
+  void fixed_string(std::string_view s, std::size_t n) {
+    const std::size_t take_n = s.size() < n ? s.size() : n;
+    block({reinterpret_cast<const std::uint8_t*>(s.data()), take_n});
+    zeros(n - take_n);
+  }
+
+  /// Pads with zeros until size() is a multiple of align (align > 0).
+  void align_to(std::size_t align) {
+    const std::size_t rem = buf_.size() % align;
+    if (rem != 0) zeros(align - rem);
+  }
+
+  /// Patches a previously written little-endian scalar at offset.
+  template <typename T>
+  void patch(std::size_t offset, T v) {
+    if (offset + sizeof(T) > buf_.size())
+      throw std::out_of_range("patch past end of buffer");
+    write_le<T>(buf_.data() + offset, v);
+  }
+
+ private:
+  ByteBuf buf_;
+};
+
+// ---- misc helpers ----------------------------------------------------------
+
+/// Lowercase hex dump of a byte range.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Rounds v up to the next multiple of align (align > 0, power of two not
+/// required).
+constexpr std::uint32_t align_up(std::uint32_t v, std::uint32_t align) {
+  return align == 0 ? v : ((v + align - 1) / align) * align;
+}
+
+/// Bytes of a string_view as a span.
+inline std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// ByteBuf copy of a string.
+ByteBuf to_bytes(std::string_view s);
+
+}  // namespace mpass::util

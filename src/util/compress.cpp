@@ -1,0 +1,122 @@
+#include "util/compress.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace mpass::util {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x315A4C4Du;  // 'MLZ1'
+constexpr std::size_t kWindow = 4096;
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;
+}  // namespace
+
+ByteBuf lzss_compress(std::span<const std::uint8_t> data) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(static_cast<std::uint32_t>(data.size()));
+
+  // Hash chains over 3-byte prefixes for match finding.
+  constexpr std::size_t kHashSize = 1 << 13;
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(data.size(), -1);
+  auto hash3 = [&](std::size_t i) {
+    const std::uint32_t v = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16);
+    return static_cast<std::size_t>((v * 2654435761u) >> 19) & (kHashSize - 1);
+  };
+
+  ByteBuf pending;        // up to 8 encoded items
+  std::uint8_t flags = 0;
+  int nitems = 0;
+  auto flush = [&] {
+    if (nitems == 0) return;
+    w.u8(flags);
+    w.block(pending);
+    pending.clear();
+    flags = 0;
+    nitems = 0;
+  };
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (i + kMinMatch <= data.size()) {
+      const std::size_t h = hash3(i);
+      std::int32_t cand = head[h];
+      int chain = 64;
+      while (cand >= 0 && chain-- > 0 &&
+             i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, data.size() - i);
+        std::size_t len = 0;
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = i - c;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[c];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      flags |= static_cast<std::uint8_t>(1u << nitems);
+      const std::uint16_t token = static_cast<std::uint16_t>(
+          ((best_off - 1) << 4) | (best_len - kMinMatch));
+      pending.push_back(static_cast<std::uint8_t>(token & 0xFF));
+      pending.push_back(static_cast<std::uint8_t>(token >> 8));
+      // Insert all covered positions into the hash chains.
+      for (std::size_t k = 0; k < best_len && i + k + kMinMatch <= data.size();
+           ++k) {
+        const std::size_t h = hash3(i + k);
+        prev[i + k] = head[h];
+        head[h] = static_cast<std::int32_t>(i + k);
+      }
+      i += best_len;
+    } else {
+      pending.push_back(data[i]);
+      if (i + kMinMatch <= data.size()) {
+        const std::size_t h = hash3(i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int32_t>(i);
+      }
+      ++i;
+    }
+    if (++nitems == 8) flush();
+  }
+  flush();
+  return w.take();
+}
+
+ByteBuf lzss_decompress(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw ParseError("lzss: bad magic");
+  const std::uint32_t out_size = r.u32();
+  ByteBuf out;
+  out.reserve(out_size);
+  while (out.size() < out_size) {
+    std::uint8_t flags = r.u8();
+    for (int bit = 0; bit < 8 && out.size() < out_size; ++bit) {
+      if (flags & (1u << bit)) {
+        const std::uint16_t token = r.u16();
+        const std::size_t off = (token >> 4) + 1;
+        const std::size_t len = (token & 0xF) + kMinMatch;
+        if (off > out.size()) throw ParseError("lzss: bad match offset");
+        for (std::size_t k = 0; k < len; ++k)
+          out.push_back(out[out.size() - off]);
+      } else {
+        out.push_back(r.u8());
+      }
+    }
+  }
+  if (out.size() != out_size) throw ParseError("lzss: size mismatch");
+  return out;
+}
+
+bool is_lzss(std::span<const std::uint8_t> data) {
+  return data.size() >= 4 && read_le<std::uint32_t>(data.data()) == kMagic;
+}
+
+}  // namespace mpass::util

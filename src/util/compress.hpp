@@ -1,0 +1,25 @@
+// LZSS-style compression used by the packer obfuscators (UPX-like/ASPack-like)
+// and by tests that need realistic high-entropy-but-decompressible payloads.
+//
+// Format (self-describing, little-endian):
+//   u32 magic 'MLZ1' | u32 uncompressed_size | token stream
+// Token stream: flag byte covering the next 8 items, LSB first;
+//   bit=0 -> literal byte; bit=1 -> match: u16 (offset:12 | len-3:4).
+// Window 4096 bytes, match length 3..18.
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace mpass::util {
+
+/// Compresses data; output always round-trips through decompress().
+ByteBuf lzss_compress(std::span<const std::uint8_t> data);
+
+/// Decompresses a buffer produced by lzss_compress.
+/// Throws ParseError on malformed input.
+ByteBuf lzss_decompress(std::span<const std::uint8_t> data);
+
+/// True if the buffer starts with the MLZ1 magic.
+bool is_lzss(std::span<const std::uint8_t> data);
+
+}  // namespace mpass::util

@@ -1,0 +1,51 @@
+#include "util/hashing.hpp"
+
+#include <array>
+
+namespace mpass::util {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) {
+  return fnv1a64(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, seed);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mpass::util

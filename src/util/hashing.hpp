@@ -1,0 +1,25 @@
+// Non-cryptographic hashes: FNV-1a (feature hashing, digests) and CRC32
+// (PE checksum field, integrity checks in tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mpass::util {
+
+/// 64-bit FNV-1a over a byte range.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// 64-bit FNV-1a over a string.
+std::uint64_t fnv1a64(std::string_view s,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Incremental FNV-1a: mix one more 64-bit value into a running hash.
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace mpass::util

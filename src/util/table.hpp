@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harness: prints paper-style
+// tables (Table I..VI) and figure series with aligned columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpass::util {
+
+/// Column-aligned text table with a title row, header row, and data rows.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to fixed decimals.
+  static std::string num(double v, int decimals = 1);
+
+  /// Renders with box-drawing separators.
+  std::string render() const;
+
+  /// Renders to a stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpass::util

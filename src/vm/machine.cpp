@@ -1,0 +1,593 @@
+#include "vm/machine.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+#include "util/hashing.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::vm {
+
+using util::ByteBuf;
+using util::fnv1a64;
+using util::hash_combine;
+
+std::size_t RunResult::sensitive_calls() const {
+  std::size_t n = 0;
+  for (const Event& e : trace)
+    if (is_sensitive(e.api)) ++n;
+  return n;
+}
+
+std::size_t RunResult::malicious_calls() const {
+  std::size_t n = 0;
+  for (const Event& e : trace)
+    if (is_hard_malicious(e.api)) ++n;
+  return n;
+}
+
+bool traces_equal(const Trace& a, const Trace& b) { return a == b; }
+
+Machine::Machine(ByteBuf raw_file) : raw_(std::move(raw_file)) {
+  pe::PeFile file = pe::PeFile::parse(raw_);
+
+  image_base_ = file.image_base;
+  image_size_ = file.size_of_image();
+  image_.assign(image_size_, 0);
+  prot_.assign(image_size_, 0);
+
+  // Map headers (read-only) exactly as the Windows loader does.
+  pe::Layout layout;
+  const ByteBuf built = file.build_with_layout(&layout);
+  const std::size_t hdr = std::min<std::size_t>(layout.headers_size,
+                                                image_.size());
+  std::copy_n(built.begin(), hdr, image_.begin());
+
+  // Map sections with their protections.
+  for (const pe::Section& s : file.sections) {
+    if (s.vaddr >= image_size_) continue;
+    const std::size_t copy_len =
+        std::min<std::size_t>(s.data.size(), image_size_ - s.vaddr);
+    std::copy_n(s.data.begin(), copy_len, image_.begin() + s.vaddr);
+    const std::uint32_t span = std::max(
+        s.vsize, static_cast<std::uint32_t>(s.data.size()));
+    const std::size_t prot_len =
+        std::min<std::size_t>(span, image_size_ - s.vaddr);
+    std::uint8_t p = 0;
+    if (s.writable()) p |= 1;
+    if (s.executable()) p |= 2;
+    std::fill_n(prot_.begin() + s.vaddr, prot_len, p);
+  }
+
+  stack_.assign(kStackSize, 0);
+  heap_.assign(kHeapSize, 0);
+
+  pc_ = image_base_ + file.entry_point;
+  sp_ = kStackTop;
+
+  // Victim environment: a deterministic set of user files.
+  auto seed_file = [&](const std::string& name, std::string_view content) {
+    fs_[name] = util::to_bytes(content);
+    victim_files_.push_back(name);
+  };
+  seed_file("C:/Users/victim/doc_report.txt",
+            "Quarterly report: revenue grew 4% in Q3.");
+  seed_file("C:/Users/victim/passwords.txt", "hunter2\nswordfish\n");
+  seed_file("C:/Users/victim/photo.raw", "RAWDATA0123456789abcdef");
+  seed_file("C:/Users/victim/notes.md", "# TODO\n- renew license\n");
+  seed_file("C:/Windows/config.ini", "[system]\nlocale=en-US\n");
+}
+
+// ---- memory --------------------------------------------------------------
+
+std::uint8_t* Machine::mem_ptr(std::uint32_t addr, std::uint32_t len) {
+  if (len == 0) return nullptr;
+  // Image region.
+  if (addr >= image_base_ && addr + len > addr &&
+      addr + len <= image_base_ + image_size_)
+    return image_.data() + (addr - image_base_);
+  // Stack region.
+  const std::uint32_t stack_base = kStackTop - kStackSize;
+  if (addr >= stack_base && addr + len > addr && addr + len <= kStackTop)
+    return stack_.data() + (addr - stack_base);
+  // Heap region.
+  if (addr >= kHeapBase && addr + len > addr &&
+      addr + len <= kHeapBase + kHeapSize)
+    return heap_.data() + (addr - kHeapBase);
+  return nullptr;
+}
+
+bool Machine::readable(std::uint32_t addr, std::uint32_t len) {
+  return mem_ptr(addr, len) != nullptr;
+}
+
+bool Machine::writable(std::uint32_t addr, std::uint32_t len) {
+  if (!mem_ptr(addr, len)) return false;
+  if (addr >= image_base_ && addr + len <= image_base_ + image_size_) {
+    for (std::uint32_t i = 0; i < len; ++i)
+      if (!(prot_[addr - image_base_ + i] & 1)) return false;
+  }
+  return true;  // stack/heap always writable
+}
+
+bool Machine::executable(std::uint32_t addr) {
+  if (addr < image_base_ || addr >= image_base_ + image_size_) return false;
+  return (prot_[addr - image_base_] & 2) != 0;
+}
+
+std::uint8_t Machine::load8(std::uint32_t addr) {
+  const std::uint8_t* p = mem_ptr(addr, 1);
+  if (!p) {
+    fault("read fault");
+    return 0;
+  }
+  return *p;
+}
+
+std::uint32_t Machine::load32(std::uint32_t addr) {
+  const std::uint8_t* p = mem_ptr(addr, 4);
+  if (!p) {
+    fault("read fault");
+    return 0;
+  }
+  return util::read_le<std::uint32_t>(p);
+}
+
+void Machine::store8(std::uint32_t addr, std::uint8_t v) {
+  if (!writable(addr, 1)) {
+    fault("write fault");
+    return;
+  }
+  *mem_ptr(addr, 1) = v;
+}
+
+void Machine::store32(std::uint32_t addr, std::uint32_t v) {
+  if (!writable(addr, 4)) {
+    fault("write fault");
+    return;
+  }
+  util::write_le(mem_ptr(addr, 4), v);
+}
+
+std::string Machine::read_string(std::uint32_t ptr, std::uint32_t len) {
+  len = std::min<std::uint32_t>(len, 4096);
+  if (len == 0) return {};
+  const std::uint8_t* p = mem_ptr(ptr, len);
+  if (!p) {
+    fault("string read fault");
+    return {};
+  }
+  return std::string(reinterpret_cast<const char*>(p), len);
+}
+
+ByteBuf Machine::read_block(std::uint32_t ptr, std::uint32_t len) {
+  len = std::min<std::uint32_t>(len, 1u << 20);
+  if (len == 0) return {};
+  const std::uint8_t* p = mem_ptr(ptr, len);
+  if (!p) {
+    fault("block read fault");
+    return {};
+  }
+  return ByteBuf(p, p + len);
+}
+
+void Machine::write_block(std::uint32_t ptr,
+                          std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  if (!writable(ptr, static_cast<std::uint32_t>(data.size()))) {
+    fault("block write fault");
+    return;
+  }
+  std::copy(data.begin(), data.end(),
+            mem_ptr(ptr, static_cast<std::uint32_t>(data.size())));
+}
+
+// ---- execution -------------------------------------------------------------
+
+void Machine::fault(std::string reason) {
+  if (!result_.faulted) {
+    result_.faulted = true;
+    result_.fault_reason = std::move(reason);
+  }
+  running_ = false;
+}
+
+void Machine::record(std::uint16_t api, std::uint64_t digest) {
+  result_.trace.push_back({api, digest});
+}
+
+RunResult Machine::run(std::uint64_t max_steps) {
+  result_ = RunResult{};
+  running_ = true;
+
+  using isa::Op;
+  using isa::Reg;
+  auto r = [&](Reg x) -> std::uint32_t& {
+    return reg_[static_cast<int>(x)];
+  };
+
+  while (running_ && result_.steps < max_steps) {
+    if (!executable(pc_)) {
+      fault("exec fault at pc");
+      break;
+    }
+    // Decode directly from the image; instructions never straddle regions.
+    const std::size_t off = pc_ - image_base_;
+    const std::size_t avail =
+        std::min<std::size_t>(image_size_ - off, 16);
+    isa::Instr in;
+    std::size_t len = 0;
+    try {
+      util::ByteReader br({image_.data() + off, avail});
+      in = isa::decode(br);
+      len = br.pos();
+    } catch (const util::ParseError&) {
+      fault("decode fault");
+      break;
+    }
+    // Every byte of the instruction must be executable.
+    bool exec_ok = true;
+    for (std::size_t i = 1; i < len; ++i)
+      if (!(prot_[off + i] & 2)) exec_ok = false;
+    if (!exec_ok) {
+      fault("exec fault inside instruction");
+      break;
+    }
+
+    pc_ += static_cast<std::uint32_t>(len);
+    ++result_.steps;
+
+    switch (in.op) {
+      case Op::Nop:
+        break;
+      case Op::Halt:
+        result_.halted = true;
+        running_ = false;
+        break;
+      case Op::Movi:
+        r(in.a) = in.imm;
+        break;
+      case Op::Movr:
+        r(in.a) = r(in.b);
+        break;
+      case Op::Add:
+        r(in.a) += r(in.b);
+        break;
+      case Op::Sub:
+        r(in.a) -= r(in.b);
+        break;
+      case Op::Xor:
+        r(in.a) ^= r(in.b);
+        break;
+      case Op::And:
+        r(in.a) &= r(in.b);
+        break;
+      case Op::Or:
+        r(in.a) |= r(in.b);
+        break;
+      case Op::Mul:
+        r(in.a) *= r(in.b);
+        break;
+      case Op::Shl:
+        r(in.a) <<= (r(in.b) & 31);
+        break;
+      case Op::Shr:
+        r(in.a) >>= (r(in.b) & 31);
+        break;
+      case Op::Mod:
+        r(in.a) = r(in.b) ? r(in.a) % r(in.b) : 0;
+        break;
+      case Op::Div:
+        r(in.a) = r(in.b) ? r(in.a) / r(in.b) : 0;
+        break;
+      case Op::Addi:
+        r(in.a) += in.imm;
+        break;
+      case Op::Loadb:
+        r(in.a) = load8(r(in.b));
+        break;
+      case Op::Storeb:
+        store8(r(in.a), static_cast<std::uint8_t>(r(in.b)));
+        break;
+      case Op::Loadw:
+        r(in.a) = load32(r(in.b));
+        break;
+      case Op::Storew:
+        store32(r(in.a), r(in.b));
+        break;
+      case Op::Jmp:
+        pc_ += static_cast<std::uint32_t>(in.rel);
+        break;
+      case Op::Jz:
+        if (r(in.a) == 0) pc_ += static_cast<std::uint32_t>(in.rel);
+        break;
+      case Op::Jnz:
+        if (r(in.a) != 0) pc_ += static_cast<std::uint32_t>(in.rel);
+        break;
+      case Op::Jlt:
+        if (r(in.a) < r(in.b)) pc_ += static_cast<std::uint32_t>(in.rel);
+        break;
+      case Op::Call:
+        sp_ -= 4;
+        if (sp_ < kStackTop - kStackSize) {
+          fault("stack overflow");
+          break;
+        }
+        store32(sp_, pc_);
+        pc_ += static_cast<std::uint32_t>(in.rel);
+        break;
+      case Op::Ret:
+        if (sp_ + 4 > kStackTop) {
+          fault("stack underflow");
+          break;
+        }
+        pc_ = load32(sp_);
+        sp_ += 4;
+        break;
+      case Op::Push:
+        sp_ -= 4;
+        if (sp_ < kStackTop - kStackSize) {
+          fault("stack overflow");
+          break;
+        }
+        store32(sp_, r(in.a));
+        break;
+      case Op::Pop:
+        if (sp_ + 4 > kStackTop) {
+          fault("stack underflow");
+          break;
+        }
+        r(in.a) = load32(sp_);
+        sp_ += 4;
+        break;
+      case Op::Sys:
+        syscall(static_cast<std::uint16_t>(in.imm));
+        break;
+    }
+  }
+  if (result_.steps >= max_steps && !result_.halted && !result_.faulted)
+    result_.fault_reason = "fuel exhausted";
+  return result_;
+}
+
+// ---- syscalls ---------------------------------------------------------------
+
+void Machine::syscall(std::uint16_t api) {
+  auto& r0 = reg_[0];
+  auto& r1 = reg_[1];
+  auto& r2 = reg_[2];
+  auto& r3 = reg_[3];
+
+  switch (static_cast<Api>(api)) {
+    case Api::Print: {
+      const ByteBuf data = read_block(r0, r1);
+      record(api, fnv1a64(data));
+      break;
+    }
+    case Api::GetTime:
+      r0 = time_counter_;
+      time_counter_ += 16;  // deterministic monotone clock
+      break;
+    case Api::OpenFile: {
+      const std::string name = read_string(r0, r1);
+      record(api, fnv1a64(name));
+      if (!fs_.contains(name)) fs_[name] = {};
+      handles_.push_back({name, 0, true});
+      r0 = static_cast<std::uint32_t>(handles_.size());  // 1-based handle
+      break;
+    }
+    case Api::ReadFile: {
+      if (r0 == 0 || r0 > handles_.size() || !handles_[r0 - 1].open) {
+        r0 = 0;
+        break;
+      }
+      OpenFile& h = handles_[r0 - 1];
+      const ByteBuf& content = fs_[h.name];
+      const std::uint32_t avail =
+          h.cursor < content.size()
+              ? static_cast<std::uint32_t>(content.size()) - h.cursor
+              : 0;
+      const std::uint32_t n = std::min(r2, avail);
+      if (n) write_block(r1, {content.data() + h.cursor, n});
+      h.cursor += n;
+      r0 = n;
+      break;
+    }
+    case Api::WriteFile: {
+      if (r0 == 0 || r0 > handles_.size() || !handles_[r0 - 1].open) {
+        r0 = 0;
+        break;
+      }
+      OpenFile& h = handles_[r0 - 1];
+      const ByteBuf data = read_block(r1, r2);
+      ByteBuf& content = fs_[h.name];
+      if (h.cursor + data.size() > content.size())
+        content.resize(h.cursor + data.size());
+      std::copy(data.begin(), data.end(), content.begin() + h.cursor);
+      h.cursor += static_cast<std::uint32_t>(data.size());
+      record(api, hash_combine(fnv1a64(h.name), fnv1a64(data)));
+      r0 = r2;
+      break;
+    }
+    case Api::CloseFile:
+      if (r0 >= 1 && r0 <= handles_.size()) handles_[r0 - 1].open = false;
+      break;
+    case Api::Alloc: {
+      const std::uint32_t size = std::min(r0, kHeapSize);
+      if (heap_brk_ + size > kHeapSize) {
+        r0 = 0;
+      } else {
+        r0 = kHeapBase + heap_brk_;
+        heap_brk_ += util::align_up(std::max(size, 4u), 16);
+      }
+      break;
+    }
+    case Api::GetEnv: {
+      static constexpr std::string_view kEnv = "USER=victim;OS=SimWin";
+      const std::uint32_t n =
+          std::min<std::uint32_t>(r1, static_cast<std::uint32_t>(kEnv.size()));
+      write_block(r0, util::as_bytes(kEnv.substr(0, n)));
+      r0 = n;
+      break;
+    }
+    case Api::MsgBox: {
+      const ByteBuf data = read_block(r0, r1);
+      record(api, fnv1a64(data));
+      break;
+    }
+    case Api::Rand:
+      r0 = static_cast<std::uint32_t>(util::splitmix64(rand_state_));
+      break;
+    case Api::Sleep:
+      time_counter_ += r0;
+      break;
+    case Api::ExitProcess:
+      record(api, r0);
+      result_.halted = true;
+      running_ = false;
+      break;
+    case Api::VProtect: {
+      if (r0 < image_base_ || r0 + r1 < r0 ||
+          r0 + r1 > image_base_ + image_size_)
+        break;  // no-op outside image, like VirtualProtect failing softly
+      const std::uint8_t p = static_cast<std::uint8_t>(r2 & 3);
+      std::fill_n(prot_.begin() + (r0 - image_base_), r1, p);
+      break;
+    }
+    case Api::GetSelfSize:
+      r0 = static_cast<std::uint32_t>(raw_.size());
+      break;
+    case Api::ReadSelf: {
+      if (r0 >= raw_.size()) {
+        r0 = 0;
+        break;
+      }
+      const std::uint32_t n = std::min<std::uint32_t>(
+          r2, static_cast<std::uint32_t>(raw_.size()) - r0);
+      write_block(r1, {raw_.data() + r0, n});
+      r0 = n;
+      break;
+    }
+    case Api::Checksum: {
+      const ByteBuf data = read_block(r0, r1);
+      r0 = util::crc32(data);
+      break;
+    }
+
+    // ---- sensitive APIs ----
+    case Api::RegSetAutorun: {
+      const std::string value = read_string(r0, r1);
+      record(api, fnv1a64(value));
+      break;
+    }
+    case Api::RegDeleteKey:
+      record(api, r0);
+      break;
+    case Api::Connect:
+      record(api, hash_combine(r0, r1));
+      r0 = next_sock_++;
+      break;
+    case Api::Send: {
+      const ByteBuf data = read_block(r1, r2);
+      record(api, hash_combine(r0, fnv1a64(data)));
+      break;
+    }
+    case Api::Recv: {
+      // Deterministic pseudo-C2 downlink: stream derived from sock id.
+      const std::uint32_t n = std::min(r2, 256u);
+      ByteBuf data(n);
+      std::uint64_t s = 0x5bd1e995u ^ r0;
+      for (auto& b : data) b = static_cast<std::uint8_t>(util::splitmix64(s));
+      write_block(r1, data);
+      record(api, hash_combine(r0, n));
+      r0 = n;
+      break;
+    }
+    case Api::EnumFiles: {
+      if (enum_cursor_ >= victim_files_.size()) {
+        r0 = 0;
+        break;
+      }
+      const std::string& name = victim_files_[enum_cursor_++];
+      const std::uint32_t n =
+          std::min<std::uint32_t>(r1, static_cast<std::uint32_t>(name.size()));
+      write_block(r0, util::as_bytes(std::string_view(name).substr(0, n)));
+      record(api, fnv1a64(name));
+      r0 = n;
+      break;
+    }
+    case Api::EncryptFile: {
+      const std::string name = read_string(r0, r1);
+      auto it = fs_.find(name);
+      std::uint64_t content_digest = 0;
+      if (it != fs_.end()) {
+        for (auto& b : it->second) b ^= static_cast<std::uint8_t>(r2);
+        content_digest = fnv1a64(it->second);
+      }
+      record(api, hash_combine(fnv1a64(name), content_digest));
+      break;
+    }
+    case Api::DeleteShadow:
+      record(api, 0xD5);
+      break;
+    case Api::KeylogStart:
+      record(api, 0xA110);
+      break;
+    case Api::KeylogDump: {
+      static constexpr std::string_view kKeys = "user typed: secret";
+      const std::uint32_t n =
+          std::min<std::uint32_t>(r1, static_cast<std::uint32_t>(kKeys.size()));
+      write_block(r0, util::as_bytes(kKeys.substr(0, n)));
+      record(api, n);
+      r0 = n;
+      break;
+    }
+    case Api::InjectProc: {
+      const ByteBuf payload = read_block(r1, r2);
+      record(api, hash_combine(r0, fnv1a64(payload)));
+      break;
+    }
+    case Api::CreateProc: {
+      const std::string name = read_string(r0, r1);
+      record(api, fnv1a64(name));
+      break;
+    }
+    case Api::WriteExe: {
+      const std::string name = read_string(r0, r1);
+      const ByteBuf body = read_block(r2, r3);
+      fs_[name] = body;
+      record(api, hash_combine(fnv1a64(name), fnv1a64(body)));
+      break;
+    }
+    case Api::SetHidden: {
+      const std::string name = read_string(r0, r1);
+      record(api, fnv1a64(name));
+      break;
+    }
+    case Api::Screenshot: {
+      const std::uint32_t n = std::min(r1, 64u);
+      ByteBuf shot(n, 0x7C);
+      write_block(r0, shot);
+      record(api, n);
+      r0 = n;
+      break;
+    }
+    case Api::StealCreds: {
+      const ByteBuf& pw = fs_["C:/Users/victim/passwords.txt"];
+      const std::uint32_t n =
+          std::min<std::uint32_t>(r1, static_cast<std::uint32_t>(pw.size()));
+      if (n) write_block(r0, {pw.data(), n});
+      record(api, fnv1a64(pw));
+      r0 = n;
+      break;
+    }
+    default:
+      // Unknown syscall id: treated as a no-op returning 0 (robustness
+      // against adversarially perturbed code falling through here is not
+      // required -- perturbed code is never executed thanks to recovery).
+      r0 = 0;
+      break;
+  }
+}
+
+}  // namespace mpass::vm

@@ -1,0 +1,124 @@
+// MVM emulator: loads a PE32 image the way a real OS loader would (headers +
+// sections mapped at image base), executes MVM code with section protections,
+// and services syscalls against a simulated victim environment (in-memory
+// filesystem, registry, network, process list).
+//
+// The emulator's *behavior trace* -- the sequence of effectful API calls with
+// content digests -- is this repository's substitute for Cuckoo-sandbox API
+// traces (see DESIGN.md): two samples are behaviorally equivalent iff their
+// traces are identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pe/pe.hpp"
+#include "util/bytes.hpp"
+#include "vm/api.hpp"
+
+namespace mpass::vm {
+
+/// One effectful API call: the api id plus a digest of its semantically
+/// relevant arguments (including pointed-to memory contents).
+struct Event {
+  std::uint16_t api = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const Event&) const = default;
+};
+
+using Trace = std::vector<Event>;
+
+/// Outcome of an emulation run.
+struct RunResult {
+  Trace trace;
+  bool halted = false;       // reached Halt/ExitProcess
+  bool faulted = false;      // memory/decode/protection violation
+  std::string fault_reason;  // empty unless faulted
+  std::uint64_t steps = 0;   // instructions executed
+
+  /// Clean termination within budget.
+  bool ok() const { return halted && !faulted; }
+
+  /// Number of sensitive API events in the trace.
+  std::size_t sensitive_calls() const;
+
+  /// Number of hard-malicious API events (see is_hard_malicious).
+  std::size_t malicious_calls() const;
+};
+
+/// Emulator for one loaded sample. Construct, then run().
+class Machine {
+ public:
+  /// Parses and maps the file. Throws util::ParseError if not valid PE32.
+  explicit Machine(util::ByteBuf raw_file);
+
+  /// Runs from the entry point for at most max_steps instructions.
+  RunResult run(std::uint64_t max_steps = kDefaultFuel);
+
+  static constexpr std::uint64_t kDefaultFuel = 2'000'000;
+
+  // Memory map constants.
+  static constexpr std::uint32_t kStackTop = 0x7F000000;
+  static constexpr std::uint32_t kStackSize = 0x10000;
+  static constexpr std::uint32_t kHeapBase = 0x60000000;
+  static constexpr std::uint32_t kHeapSize = 0x100000;
+
+  /// Victim filesystem contents after a run (for tests).
+  const std::map<std::string, util::ByteBuf>& files() const { return fs_; }
+
+ private:
+  // ---- memory ----
+  std::uint8_t* mem_ptr(std::uint32_t addr, std::uint32_t len);
+  bool readable(std::uint32_t addr, std::uint32_t len);
+  bool writable(std::uint32_t addr, std::uint32_t len);
+  bool executable(std::uint32_t addr);
+  std::uint8_t load8(std::uint32_t addr);
+  std::uint32_t load32(std::uint32_t addr);
+  void store8(std::uint32_t addr, std::uint8_t v);
+  void store32(std::uint32_t addr, std::uint32_t v);
+  std::string read_string(std::uint32_t ptr, std::uint32_t len);
+  util::ByteBuf read_block(std::uint32_t ptr, std::uint32_t len);
+  void write_block(std::uint32_t ptr, std::span<const std::uint8_t> data);
+
+  // ---- execution ----
+  void fault(std::string reason);
+  void syscall(std::uint16_t api);
+  void record(std::uint16_t api, std::uint64_t digest);
+
+  util::ByteBuf raw_;             // original file bytes (ReadSelf)
+  util::ByteBuf image_;           // mapped image (headers + sections)
+  std::vector<std::uint8_t> prot_;  // per-byte prot bits of image_: 1=W 2=X
+  util::ByteBuf stack_;
+  util::ByteBuf heap_;
+  std::uint32_t heap_brk_ = 0;
+  std::uint32_t image_base_ = 0;
+  std::uint32_t image_size_ = 0;
+
+  std::uint32_t reg_[8] = {};
+  std::uint32_t pc_ = 0;
+  std::uint32_t sp_ = 0;
+
+  RunResult result_;
+  bool running_ = false;
+
+  // Victim environment.
+  std::map<std::string, util::ByteBuf> fs_;
+  struct OpenFile {
+    std::string name;
+    std::uint32_t cursor = 0;
+    bool open = false;
+  };
+  std::vector<OpenFile> handles_;
+  std::vector<std::string> victim_files_;  // EnumFiles order
+  std::size_t enum_cursor_ = 0;
+  std::uint64_t rand_state_ = 0x243F6A8885A308D3ULL;
+  std::uint32_t time_counter_ = 0x60000000;
+  std::uint32_t next_sock_ = 1;
+};
+
+/// Trace equality (the functionality-preservation predicate).
+bool traces_equal(const Trace& a, const Trace& b);
+
+}  // namespace mpass::vm

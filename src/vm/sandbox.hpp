@@ -1,0 +1,41 @@
+// Sandbox: the Cuckoo-sandbox substitute. Executes a PE sample in the MVM
+// emulator and reports its behavior trace, whether it ran to completion, and
+// whether it exhibited malicious behavior (>= 1 hard-malicious API call;
+// gray-area APIs like Connect or RegSetAutorun alone do not convict -- see
+// vm::is_hard_malicious).
+//
+// functionality_preserved() is the paper's AE-validation check: the modified
+// sample must produce the *identical* effectful API-call sequence (with
+// argument digests) as the original.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "vm/machine.hpp"
+
+namespace mpass::vm {
+
+struct SandboxReport {
+  RunResult run;
+  bool parsed = false;     // file was a loadable PE
+  bool executed_ok = false;  // parsed && ran to clean halt
+  bool malicious = false;  // executed_ok && sensitive APIs observed
+
+  const Trace& trace() const { return run.trace; }
+};
+
+class Sandbox {
+ public:
+  explicit Sandbox(std::uint64_t fuel = Machine::kDefaultFuel) : fuel_(fuel) {}
+
+  /// Runs one sample.
+  SandboxReport analyze(const util::ByteBuf& file) const;
+
+  /// True iff both run cleanly and produce identical behavior traces.
+  bool functionality_preserved(const util::ByteBuf& original,
+                               const util::ByteBuf& modified) const;
+
+ private:
+  std::uint64_t fuel_;
+};
+
+}  // namespace mpass::vm

@@ -1,0 +1,21 @@
+// Behavior-trace formatting and diffing: the human-readable layer over the
+// sandbox's API traces (what an analyst reads when verifying AEs).
+#pragma once
+
+#include <string>
+
+#include "vm/machine.hpp"
+
+namespace mpass::vm {
+
+/// One line per event: "  EncryptFile    digest=... [malicious]".
+std::string format_trace(const Trace& trace);
+
+/// Unified first-divergence diff of two traces. Empty string if identical.
+/// Reports length mismatches and the first differing event with context.
+std::string diff_traces(const Trace& before, const Trace& after);
+
+/// Compact behavioral summary: "5 events, 3 sensitive, 2 malicious".
+std::string summarize_trace(const Trace& trace);
+
+}  // namespace mpass::vm

@@ -1,0 +1,87 @@
+// Tests for the adversarial-training extension (paper §VI).
+#include <gtest/gtest.h>
+
+#include "detectors/advtrain.hpp"
+
+namespace mpass::detect {
+namespace {
+
+using util::ByteBuf;
+
+ml::ByteConvConfig tiny() {
+  ml::ByteConvConfig cfg;
+  cfg.max_len = 8192;
+  cfg.embed_dim = 4;
+  cfg.filters = 8;
+  cfg.width = 16;
+  cfg.stride = 8;
+  cfg.hidden = 8;
+  return cfg;
+}
+
+TEST(AdvTrain, PgdTrainingTracksPlainTraining) {
+  // Adversarial training must not collapse the model relative to plain
+  // training on the *same* data/seed (micro-scale AUCs are seed-noisy, so
+  // the assertion is relative, plus both runs must beat coin flipping on
+  // the training set itself).
+  const corpus::Dataset data = corpus::generate_dataset(4000, 48, 48);
+  ByteConvDetector plain("plain", tiny(), 5);
+  NetTrainConfig base;
+  base.epochs = 8;
+  base.lr = 2e-3f;
+  train_net(plain, data, base);
+  const double plain_auc = evaluate(plain, data).auc;  // train-set AUC
+  ASSERT_GT(plain_auc, 0.8);
+
+  ByteConvDetector det("pgdat", tiny(), 5);
+  AdvTrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.lr = 2e-3f;
+  const float loss = adversarial_train_pgd(det, data, cfg);
+  EXPECT_GT(loss, 0.0f);
+  const double at_auc = evaluate(det, data).auc;
+  EXPECT_GT(at_auc, plain_auc - 0.3);
+  EXPECT_GT(at_auc, 0.6);
+}
+
+TEST(AdvTrain, AeMixingLearnsTheProvidedAes) {
+  const corpus::Dataset data = corpus::generate_dataset(4100, 24, 24);
+  ByteConvDetector det("aemix", tiny(), 7);
+  NetTrainConfig base;
+  base.epochs = 3;
+  train_net(det, data, base);
+  calibrate_threshold(det, data, 0.05);
+
+  // Fabricate "AEs": benign-looking byte blobs the clean model misses.
+  util::Rng rng(9);
+  std::vector<ByteBuf> aes;
+  for (int i = 0; i < 6; ++i) {
+    ByteBuf ae = data.samples[i].bytes;
+    for (auto& b : ae)
+      if (rng.chance(0.3)) b = 0x20;  // benign-ish whitewash
+    aes.push_back(std::move(ae));
+  }
+  double before = 0;
+  for (const ByteBuf& ae : aes) before += det.score(ae);
+  before /= static_cast<double>(aes.size());
+
+  AdvTrainConfig cfg;
+  cfg.epochs = 4;
+  adversarial_train_with_aes(det, data, aes, cfg);
+  // The exact AEs trained on must now score clearly higher than before.
+  double after = 0;
+  for (const ByteBuf& ae : aes) after += det.score(ae);
+  after /= static_cast<double>(aes.size());
+  EXPECT_GT(after, before + 0.05);
+}
+
+TEST(AdvTrain, AeMixingWithNoAesIsPlainTraining) {
+  const corpus::Dataset data = corpus::generate_dataset(4200, 12, 12);
+  ByteConvDetector det("plain", tiny(), 11);
+  AdvTrainConfig cfg;
+  cfg.epochs = 1;
+  EXPECT_NO_THROW(adversarial_train_with_aes(det, data, {}, cfg));
+}
+
+}  // namespace
+}  // namespace mpass::detect

@@ -1,0 +1,169 @@
+// Tests for the synthetic program generator: validity, determinism,
+// behavior/API consistency, and class-conditional properties.
+#include <gtest/gtest.h>
+
+#include "corpus/codegen.hpp"
+#include "corpus/generator.hpp"
+#include "pe/import.hpp"
+#include "util/entropy.hpp"
+#include "vm/sandbox.hpp"
+
+namespace mpass::corpus {
+namespace {
+
+using util::ByteBuf;
+
+TEST(Corpus, CompileIsDeterministic) {
+  const ProgramSpec spec = sample_malware_spec(42);
+  const ByteBuf a = compile_program(spec).bytes();
+  const ByteBuf b = compile_program(spec).bytes();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Corpus, DifferentSeedsDifferentSamples) {
+  EXPECT_NE(make_malware(1).bytes(), make_malware(2).bytes());
+  EXPECT_NE(make_benign(1).bytes(), make_benign(2).bytes());
+}
+
+// Property sweep: every generated sample is valid, runs, and matches its
+// intended verdict.
+class CorpusValidity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorpusValidity, MalwareRunsAndIsMalicious) {
+  const CompiledSample s = make_malware(GetParam());
+  EXPECT_TRUE(s.meta.malicious);
+  const vm::Sandbox sandbox;
+  const vm::SandboxReport r = sandbox.analyze(s.bytes());
+  EXPECT_TRUE(r.executed_ok) << r.run.fault_reason;
+  EXPECT_TRUE(r.malicious);
+  EXPECT_GT(r.trace().size(), 0u);
+}
+
+TEST_P(CorpusValidity, BenignRunsClean) {
+  const CompiledSample s = make_benign(GetParam());
+  EXPECT_FALSE(s.meta.malicious);
+  const vm::Sandbox sandbox;
+  const vm::SandboxReport r = sandbox.analyze(s.bytes());
+  EXPECT_TRUE(r.executed_ok) << r.run.fault_reason;
+  EXPECT_FALSE(r.malicious);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusValidity,
+                         ::testing::Range<std::uint64_t>(9000, 9012));
+
+TEST(Corpus, OverlayLoaderSamplesCarryOverlay) {
+  int with_overlay = 0;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const CompiledSample s = make_malware(5000 + i);
+    if (s.meta.overlay_dependent) {
+      ++with_overlay;
+      EXPECT_FALSE(s.pe.overlay.empty());
+      // The encoded overlay payload should look high-entropy.
+      EXPECT_GT(util::shannon_entropy(s.pe.overlay), 6.0);
+    }
+  }
+  EXPECT_GT(with_overlay, 3);   // a meaningful fraction
+  EXPECT_LT(with_overlay, 35);  // but not all
+}
+
+TEST(Corpus, ImportsConsistentWithBehaviors) {
+  const ProgramSpec spec = sample_malware_spec(77);
+  const CompiledSample s = compile_program(spec);
+  const auto imports = pe::read_imports(s.pe);
+  ASSERT_FALSE(imports.empty());
+  if (!spec.hide_sensitive_imports) {
+    // Every behavior's APIs must be importable.
+    for (Behavior b : spec.behaviors)
+      for (std::uint16_t id : behavior_apis(b)) {
+        bool found = false;
+        for (const pe::Import& imp : imports)
+          if (imp.api_id == id) found = true;
+        EXPECT_TRUE(found) << "api " << id;
+      }
+  }
+}
+
+TEST(Corpus, ImportTablesAreNoisySupersets) {
+  // Both classes import APIs they never call (random supersets), so import
+  // lists cannot cleanly separate the classes.
+  std::size_t benign_with_hard = 0, malware_extra = 0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const CompiledSample b = compile_program(sample_benign_spec(seed));
+    for (const pe::Import& imp : pe::read_imports(b.pe))
+      if (vm::is_hard_malicious(imp.api_id)) {
+        ++benign_with_hard;
+        break;
+      }
+    const ProgramSpec mspec = sample_malware_spec(seed);
+    const CompiledSample m = compile_program(mspec);
+    std::vector<std::uint16_t> used;
+    for (Behavior bh : mspec.behaviors)
+      for (std::uint16_t id : behavior_apis(bh)) used.push_back(id);
+    for (const pe::Import& imp : pe::read_imports(m.pe))
+      if (std::find(used.begin(), used.end(), imp.api_id) == used.end()) {
+        ++malware_extra;
+        break;
+      }
+  }
+  EXPECT_GT(benign_with_hard, 2u);  // benign imports scary APIs too
+  EXPECT_GT(malware_extra, 6u);     // malware imports unused APIs too
+}
+
+TEST(Corpus, BehaviorApiTablesCoverAllBehaviors) {
+  for (int b = 0; b <= static_cast<int>(Behavior::Updater); ++b)
+    EXPECT_FALSE(behavior_apis(static_cast<Behavior>(b)).empty());
+}
+
+TEST(Corpus, DatasetBalancedAndLabeled) {
+  const Dataset ds = generate_dataset(123, 12, 14);
+  EXPECT_EQ(ds.samples.size(), 26u);
+  EXPECT_EQ(ds.count(1), 12u);
+  EXPECT_EQ(ds.count(0), 14u);
+  const auto [train, test] = ds.split(0.5);
+  EXPECT_EQ(train.count(1), 6u);
+  EXPECT_EQ(test.count(0), 7u);
+}
+
+TEST(Corpus, SaveLoadDatasetRoundTrip) {
+  const Dataset ds = generate_dataset(777, 3, 4);
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mpass_corpus_test";
+  std::filesystem::remove_all(dir);
+  save_dataset(ds, dir);
+  EXPECT_TRUE(std::filesystem::exists(dir / "index.csv"));
+  const Dataset loaded = load_dataset(dir);
+  EXPECT_EQ(loaded.samples.size(), ds.samples.size());
+  EXPECT_EQ(loaded.count(1), 3u);
+  EXPECT_EQ(loaded.count(0), 4u);
+  // Byte-identical content (order-insensitive check via multiset of sizes +
+  // one exact match per label).
+  std::size_t matched = 0;
+  for (const Sample& a : ds.samples)
+    for (const Sample& b : loaded.samples)
+      if (a.bytes == b.bytes && a.label == b.label) {
+        ++matched;
+        break;
+      }
+  EXPECT_EQ(matched, ds.samples.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Corpus, MalwareDataSectionsCarrySignal) {
+  // The paper's premise: malware's data sections carry malicious features
+  // (URLs, run keys, encrypted payloads). Verify strings/bytes land there.
+  int with_url = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const CompiledSample s = make_malware(6000 + i);
+    const auto idx = s.pe.find_section(".data");
+    if (!idx) continue;  // shady-renamed
+    const auto& data = s.pe.sections[*idx].data;
+    const std::string text(data.begin(), data.end());
+    if (text.find("http://") != std::string::npos ||
+        text.find("HK") != std::string::npos)
+      ++with_url;
+  }
+  EXPECT_GT(with_url, 5);
+}
+
+}  // namespace
+}  // namespace mpass::corpus

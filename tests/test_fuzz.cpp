@@ -1,0 +1,123 @@
+// Robustness properties: no component may crash, hang, or corrupt state on
+// adversarial input -- attacks feed these code paths mutated files
+// constantly. Parameterized sweeps over seeds act as a deterministic fuzzer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/generator.hpp"
+#include "detectors/features.hpp"
+#include "isa/isa.hpp"
+#include "pe/import.hpp"
+#include "pe/pe.hpp"
+#include "util/compress.hpp"
+#include "util/rng.hpp"
+#include "vm/sandbox.hpp"
+
+namespace mpass {
+namespace {
+
+using util::ByteBuf;
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, PeParserNeverCrashesOnMutatedFiles) {
+  util::Rng rng(GetParam());
+  ByteBuf bytes = corpus::make_malware(GetParam()).bytes();
+  // Flip a burst of random bytes, occasionally truncate/extend.
+  for (int round = 0; round < 20; ++round) {
+    ByteBuf mutated = bytes;
+    const int flips = static_cast<int>(rng.range(1, 64));
+    for (int i = 0; i < flips; ++i)
+      mutated[rng.below(mutated.size())] = rng.byte();
+    if (rng.chance(0.2)) mutated.resize(rng.below(mutated.size()) + 1);
+    if (rng.chance(0.2)) {
+      const ByteBuf extra = rng.bytes(rng.below(2048));
+      mutated.insert(mutated.end(), extra.begin(), extra.end());
+    }
+    try {
+      const pe::PeFile f = pe::PeFile::parse(mutated);
+      (void)f.build();            // rebuild must not crash either
+      (void)pe::read_imports(f);  // tolerant import reading
+    } catch (const util::ParseError&) {
+      // rejection is fine; crashing is not
+    }
+  }
+}
+
+TEST_P(FuzzSweep, EmulatorNeverCrashesOnMutatedCode) {
+  util::Rng rng(GetParam() ^ 0xF22);
+  const corpus::CompiledSample s = corpus::make_malware(GetParam());
+  ByteBuf bytes = s.bytes();
+  const vm::Sandbox sandbox(/*fuel=*/200'000);
+  for (int round = 0; round < 10; ++round) {
+    ByteBuf mutated = bytes;
+    for (int i = 0; i < 48; ++i)
+      mutated[rng.below(mutated.size())] = rng.byte();
+    // Must terminate (halt, fault, or fuel) without crashing the host.
+    const vm::SandboxReport r = sandbox.analyze(mutated);
+    (void)r;
+  }
+}
+
+TEST_P(FuzzSweep, EmulatorSurvivesPureRandomCodeSections) {
+  util::Rng rng(GetParam() ^ 0xC0DE);
+  pe::PeFile f;
+  f.add_section(".text", rng.bytes(2048),
+                pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute);
+  f.add_section(".data", rng.bytes(1024),
+                pe::kScnInitializedData | pe::kScnMemRead | pe::kScnMemWrite);
+  f.entry_point = f.sections[0].vaddr + static_cast<std::uint32_t>(
+      rng.below(2048));
+  const vm::Sandbox sandbox(/*fuel=*/100'000);
+  const vm::SandboxReport r = sandbox.analyze(f.build());
+  EXPECT_TRUE(r.parsed);
+  // Random code usually faults quickly; it must never hang past the fuel.
+  EXPECT_LE(r.run.steps, 100'000u);
+}
+
+TEST_P(FuzzSweep, FeatureExtractorTotalOnMutations) {
+  util::Rng rng(GetParam() ^ 0xFEA7);
+  ByteBuf bytes = corpus::make_benign(GetParam()).bytes();
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 32; ++i)
+      bytes[rng.below(bytes.size())] = rng.byte();
+    for (float v : detect::extract_features(bytes))
+      ASSERT_TRUE(std::isfinite(v));
+    for (float v : detect::extract_vendor_features(bytes))
+      ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(FuzzSweep, LzssDecompressorTotalOnGarbage) {
+  util::Rng rng(GetParam() ^ 0x1255);
+  for (int round = 0; round < 30; ++round) {
+    ByteBuf garbage = rng.bytes(rng.below(512) + 16);
+    // Valid magic with garbage body must not crash or over-allocate wildly.
+    util::write_le<std::uint32_t>(garbage.data(), 0x315A4C4Du);
+    util::write_le<std::uint32_t>(garbage.data() + 4,
+                                  static_cast<std::uint32_t>(rng.below(1 << 16)));
+    try {
+      (void)util::lzss_decompress(garbage);
+    } catch (const util::ParseError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(4200, 4212));
+
+TEST(Fuzz, DisassemblerTotalOnRandomBytes) {
+  util::Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const ByteBuf code = rng.bytes(256);
+    try {
+      (void)isa::disassemble(code);
+    } catch (const util::ParseError&) {
+    }
+    (void)isa::branches_well_formed(code);
+  }
+}
+
+}  // namespace
+}  // namespace mpass

@@ -1,0 +1,300 @@
+// Unit tests for the MVM emulator: arithmetic, control flow, memory
+// protection, syscalls and behavior traces.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "pe/pe.hpp"
+#include "util/hashing.hpp"
+#include "vm/machine.hpp"
+#include "vm/sandbox.hpp"
+#include "vm/trace_io.hpp"
+
+namespace mpass::vm {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+using util::ByteBuf;
+
+/// Builds a single-code-section PE around the assembled program.
+ByteBuf make_exe(Assembler& a, ByteBuf data_section = {},
+                 std::uint32_t data_chars = pe::kScnInitializedData |
+                                            pe::kScnMemRead |
+                                            pe::kScnMemWrite) {
+  pe::PeFile f;
+  const ByteBuf code = a.finish(f.image_base + 0x1000);
+  f.add_section(".text", code,
+                pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute);
+  if (!data_section.empty()) f.add_section(".data", data_section, data_chars);
+  f.entry_point = 0x1000;
+  return f.build();
+}
+
+RunResult run_program(Assembler& a, ByteBuf data = {}) {
+  Machine m(make_exe(a, std::move(data)));
+  return m.run();
+}
+
+TEST(Vm, ArithmeticAndPrintDigest) {
+  Assembler a;
+  // r4 = 6 * 7; Print 4 bytes at a known data VA after storing r4 there.
+  a.movi(Reg::r4, 6);
+  a.movi(Reg::r5, 7);
+  a.mul(Reg::r4, Reg::r5);
+  a.movi(Reg::r6, 0x00402000);  // .data section VA (second section)
+  a.storew(Reg::r6, Reg::r4);
+  a.movi(Reg::r0, 0x00402000);
+  a.movi(Reg::r1, 4);
+  a.sys(static_cast<std::uint16_t>(Api::Print));
+  a.halt();
+  const RunResult r = run_program(a, ByteBuf(16, 0));
+  ASSERT_TRUE(r.ok()) << r.fault_reason;
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0].api, static_cast<std::uint16_t>(Api::Print));
+  // Digest covers memory contents: 42 little-endian.
+  const ByteBuf expect = {42, 0, 0, 0};
+  EXPECT_EQ(r.trace[0].digest, util::fnv1a64(expect));
+}
+
+TEST(Vm, LoopAndBranches) {
+  Assembler a;
+  // sum 1..10 in r4, Exit with code r4 -> traced digest 55.
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.movi(Reg::r4, 0);
+  a.movi(Reg::r5, 1);
+  a.bind(loop);
+  a.movi(Reg::r6, 11);
+  a.jlt(Reg::r5, Reg::r6, done);  // continue while r5 < 11... inverted below
+  a.jmp(done);
+  a.bind(done);
+  a.halt();
+  // Simpler deterministic loop:
+  Assembler b;
+  const auto top = b.make_label();
+  const auto end = b.make_label();
+  b.movi(Reg::r4, 0);   // sum
+  b.movi(Reg::r5, 10);  // counter
+  b.bind(top);
+  b.jz(Reg::r5, end);
+  b.add(Reg::r4, Reg::r5);
+  b.movi(Reg::r0, 1);
+  b.sub(Reg::r5, Reg::r0);
+  b.jmp(top);
+  b.bind(end);
+  b.movr(Reg::r0, Reg::r4);
+  b.sys(static_cast<std::uint16_t>(Api::ExitProcess));
+  b.halt();
+  const RunResult r = run_program(b);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.trace[0].digest, 55u);
+}
+
+TEST(Vm, CallRetAndStack) {
+  Assembler a;
+  const auto fn = a.make_label();
+  const auto over = a.make_label();
+  a.movi(Reg::r4, 5);
+  a.call(fn);
+  a.movr(Reg::r0, Reg::r4);
+  a.sys(static_cast<std::uint16_t>(Api::ExitProcess));
+  a.halt();
+  a.jmp(over);  // unreachable guard
+  a.bind(fn);
+  a.push(Reg::r4);
+  a.movi(Reg::r4, 100);
+  a.pop(Reg::r4);      // restore 5
+  a.addi(Reg::r4, 1);  // 6
+  a.ret();
+  a.bind(over);
+  a.halt();
+  const RunResult r = run_program(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace[0].digest, 6u);
+}
+
+TEST(Vm, WriteToCodeSectionFaultsWithoutVProtect) {
+  Assembler a;
+  a.movi(Reg::r4, 0x00401000);  // own code section
+  a.movi(Reg::r5, 0x99);
+  a.storeb(Reg::r4, Reg::r5);
+  a.halt();
+  const RunResult r = run_program(a);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(r.fault_reason, "write fault");
+}
+
+TEST(Vm, VProtectEnablesWrite) {
+  Assembler a;
+  a.movi(Reg::r0, 0x00401000);
+  a.movi(Reg::r1, 0x1000);
+  a.movi(Reg::r2, 3);  // W|X
+  a.sys(static_cast<std::uint16_t>(Api::VProtect));
+  a.movi(Reg::r4, 0x00401080);
+  a.movi(Reg::r5, 0x99);
+  a.storeb(Reg::r4, Reg::r5);
+  a.halt();
+  const RunResult r = run_program(a);
+  EXPECT_TRUE(r.ok()) << r.fault_reason;
+}
+
+TEST(Vm, ExecutingDataSectionFaults) {
+  Assembler a;
+  a.jmp_va(0x00402000);  // jump into .data
+  const RunResult r = run_program(a, ByteBuf(64, 0x00));
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Vm, BadMemoryAccessFaults) {
+  Assembler a;
+  a.movi(Reg::r4, 0x12345678);  // unmapped
+  a.loadb(Reg::r5, Reg::r4);
+  a.halt();
+  const RunResult r = run_program(a);
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Vm, FuelExhaustionReported) {
+  Assembler a;
+  const auto loop = a.make_label();
+  a.bind(loop);
+  a.jmp(loop);
+  Machine m(make_exe(a));
+  const RunResult r = m.run(1000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.fault_reason, "fuel exhausted");
+  EXPECT_EQ(r.steps, 1000u);
+}
+
+TEST(Vm, ReadSelfReturnsRawFileBytes) {
+  Assembler a;
+  // Read first 2 bytes of our own file into scratch and Print them.
+  a.movi(Reg::r0, 0);
+  a.movi(Reg::r1, 0x00402000);
+  a.movi(Reg::r2, 2);
+  a.sys(static_cast<std::uint16_t>(Api::ReadSelf));
+  a.movi(Reg::r0, 0x00402000);
+  a.movi(Reg::r1, 2);
+  a.sys(static_cast<std::uint16_t>(Api::Print));
+  a.halt();
+  const RunResult r = run_program(a, ByteBuf(16, 0));
+  ASSERT_TRUE(r.ok());
+  const ByteBuf mz = {'M', 'Z'};
+  EXPECT_EQ(r.trace[0].digest, util::fnv1a64(mz));
+}
+
+TEST(Vm, SensitiveCallsCounted) {
+  Assembler a;
+  a.movi(Reg::r0, 1);
+  a.movi(Reg::r1, 443);
+  a.sys(static_cast<std::uint16_t>(Api::Connect));
+  a.sys(static_cast<std::uint16_t>(Api::DeleteShadow));
+  a.halt();
+  const RunResult r = run_program(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.sensitive_calls(), 2u);
+  EXPECT_EQ(r.malicious_calls(), 1u);  // only DeleteShadow is hard-malicious
+}
+
+TEST(Vm, EncryptFileChangesVictimFileAndDigest) {
+  Assembler a;
+  // Enumerate one file and encrypt it.
+  a.movi(Reg::r0, 0x00402000);
+  a.movi(Reg::r1, 256);
+  a.sys(static_cast<std::uint16_t>(Api::EnumFiles));
+  a.movr(Reg::r5, Reg::r0);
+  a.movi(Reg::r0, 0x00402000);
+  a.movr(Reg::r1, Reg::r5);
+  a.movi(Reg::r2, 0x5A);
+  a.sys(static_cast<std::uint16_t>(Api::EncryptFile));
+  a.halt();
+  Machine m(make_exe(a, ByteBuf(512, 0)));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.trace.size(), 2u);
+  // The victim file content changed (xor 0x5A).
+  const auto& files = m.files();
+  const auto it = files.find("C:/Users/victim/doc_report.txt");
+  ASSERT_NE(it, files.end());
+  EXPECT_EQ(it->second[0], static_cast<std::uint8_t>('Q' ^ 0x5A));
+}
+
+TEST(Vm, TracesDeterministicAcrossRuns) {
+  Assembler a;
+  a.sys(static_cast<std::uint16_t>(Api::KeylogStart));
+  a.movi(Reg::r0, 0x00402000);
+  a.movi(Reg::r1, 64);
+  a.sys(static_cast<std::uint16_t>(Api::KeylogDump));
+  a.movi(Reg::r0, 0);
+  a.sys(static_cast<std::uint16_t>(Api::ExitProcess));
+  const ByteBuf exe = make_exe(a, ByteBuf(128, 0));
+  const RunResult r1 = Machine(exe).run();
+  const RunResult r2 = Machine(exe).run();
+  EXPECT_TRUE(traces_equal(r1.trace, r2.trace));
+}
+
+TEST(TraceIo, FormatSummarizeAndDiff) {
+  const Trace a = {{static_cast<std::uint16_t>(Api::Print), 1},
+                   {static_cast<std::uint16_t>(Api::Connect), 2},
+                   {static_cast<std::uint16_t>(Api::EncryptFile), 3}};
+  const std::string text = format_trace(a);
+  EXPECT_NE(text.find("Print"), std::string::npos);
+  EXPECT_NE(text.find("[sensitive]"), std::string::npos);
+  EXPECT_NE(text.find("[malicious]"), std::string::npos);
+  EXPECT_EQ(summarize_trace(a), "3 events, 2 sensitive, 1 malicious");
+
+  EXPECT_TRUE(diff_traces(a, a).empty());
+  Trace b = a;
+  b[1].digest = 99;
+  const std::string d1 = diff_traces(a, b);
+  EXPECT_NE(d1.find("divergence at event 1"), std::string::npos);
+  Trace c = a;
+  c.pop_back();
+  const std::string d2 = diff_traces(a, c);
+  EXPECT_NE(d2.find("length mismatch"), std::string::npos);
+  EXPECT_NE(d2.find("EncryptFile"), std::string::npos);
+}
+
+TEST(Sandbox, MalwareVerdicts) {
+  Assembler bad;
+  bad.movi(Reg::r0, 0x00402000);
+  bad.movi(Reg::r1, 16);
+  bad.sys(static_cast<std::uint16_t>(Api::StealCreds));
+  bad.halt();
+  Assembler good;
+  good.movi(Reg::r0, 1);
+  good.movi(Reg::r1, 443);
+  good.sys(static_cast<std::uint16_t>(Api::Connect));  // gray, not malicious
+  good.halt();
+
+  const Sandbox sandbox;
+  const SandboxReport rb = sandbox.analyze(make_exe(bad, ByteBuf(64, 0)));
+  EXPECT_TRUE(rb.executed_ok);
+  EXPECT_TRUE(rb.malicious);
+  const SandboxReport rg = sandbox.analyze(make_exe(good));
+  EXPECT_TRUE(rg.executed_ok);
+  EXPECT_FALSE(rg.malicious);
+
+  // Non-PE input: parsed=false, never malicious.
+  const SandboxReport rj = sandbox.analyze(ByteBuf(100, 0x41));
+  EXPECT_FALSE(rj.parsed);
+  EXPECT_FALSE(rj.malicious);
+}
+
+TEST(Sandbox, FunctionalityPreservedDetectsBehaviorChange) {
+  Assembler a;
+  a.movi(Reg::r0, 0xAA);
+  a.sys(static_cast<std::uint16_t>(Api::ExitProcess));
+  Assembler b;
+  b.movi(Reg::r0, 0xBB);  // different exit code -> different digest
+  b.sys(static_cast<std::uint16_t>(Api::ExitProcess));
+  const Sandbox sandbox;
+  const ByteBuf ea = make_exe(a), eb = make_exe(b);
+  EXPECT_TRUE(sandbox.functionality_preserved(ea, ea));
+  EXPECT_FALSE(sandbox.functionality_preserved(ea, eb));
+}
+
+}  // namespace
+}  // namespace mpass::vm

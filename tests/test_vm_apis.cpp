@@ -1,0 +1,255 @@
+// Per-syscall semantic tests for the emulator's victim environment.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+#include "pe/pe.hpp"
+#include "util/hashing.hpp"
+#include "vm/machine.hpp"
+
+namespace mpass::vm {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+using util::ByteBuf;
+
+constexpr std::uint32_t kData = 0x00402000;
+
+ByteBuf make_exe(Assembler& a, std::size_t data_size = 1024) {
+  pe::PeFile f;
+  const ByteBuf code = a.finish(f.image_base + 0x1000);
+  f.add_section(".text", code,
+                pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute);
+  f.add_section(".data", ByteBuf(data_size, 0),
+                pe::kScnInitializedData | pe::kScnMemRead | pe::kScnMemWrite);
+  f.entry_point = 0x1000;
+  return f.build();
+}
+
+void call(Assembler& a, Api api) { a.sys(static_cast<std::uint16_t>(api)); }
+
+TEST(VmApi, FileReadWriteRoundTripWithCursor) {
+  Assembler a;
+  // open "X" -> write "abcd" twice -> close; reopen -> read 8 -> print.
+  a.movi(Reg::r4, kData + 512);  // name buffer
+  a.movi(Reg::r5, 'X');
+  a.storeb(Reg::r4, Reg::r5);
+  a.movi(Reg::r0, kData + 512);
+  a.movi(Reg::r1, 1);
+  call(a, Api::OpenFile);
+  a.movr(Reg::r6, Reg::r0);
+  // payload "abcd" at kData
+  a.movi(Reg::r4, kData);
+  for (int i = 0; i < 4; ++i) {
+    a.movi(Reg::r5, static_cast<std::uint32_t>('a' + i));
+    a.storeb(Reg::r4, Reg::r5);
+    a.addi(Reg::r4, 1);
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    a.movr(Reg::r0, Reg::r6);
+    a.movi(Reg::r1, kData);
+    a.movi(Reg::r2, 4);
+    call(a, Api::WriteFile);
+  }
+  a.movr(Reg::r0, Reg::r6);
+  call(a, Api::CloseFile);
+  // Reopen: fresh cursor at 0.
+  a.movi(Reg::r0, kData + 512);
+  a.movi(Reg::r1, 1);
+  call(a, Api::OpenFile);
+  a.movr(Reg::r6, Reg::r0);
+  a.movr(Reg::r0, Reg::r6);
+  a.movi(Reg::r1, kData + 16);
+  a.movi(Reg::r2, 8);
+  call(a, Api::ReadFile);
+  a.movi(Reg::r0, kData + 16);
+  a.movi(Reg::r1, 8);
+  call(a, Api::Print);
+  a.halt();
+
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok()) << r.fault_reason;
+  // Print digest of "abcdabcd".
+  EXPECT_EQ(r.trace.back().digest, util::fnv1a64(std::string_view("abcdabcd")));
+}
+
+TEST(VmApi, RecvIsDeterministicPerSocket) {
+  auto run_once = [] {
+    Assembler a;
+    a.movi(Reg::r0, 0x42);
+    a.movi(Reg::r1, 80);
+    call(a, Api::Connect);
+    a.movr(Reg::r4, Reg::r0);
+    a.movr(Reg::r0, Reg::r4);
+    a.movi(Reg::r1, kData);
+    a.movi(Reg::r2, 32);
+    call(a, Api::Recv);
+    a.movi(Reg::r0, kData);
+    a.movi(Reg::r1, 32);
+    call(a, Api::Print);
+    a.halt();
+    Machine m(make_exe(a));
+    return m.run();
+  };
+  const RunResult r1 = run_once();
+  const RunResult r2 = run_once();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(traces_equal(r1.trace, r2.trace));
+}
+
+TEST(VmApi, GetEnvWritesEnvironmentString) {
+  Assembler a;
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 11);
+  call(a, Api::GetEnv);
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 11);
+  call(a, Api::Print);
+  a.halt();
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace[0].digest, util::fnv1a64(std::string_view("USER=victim")));
+}
+
+TEST(VmApi, ChecksumMatchesHostCrc32) {
+  Assembler a;
+  // Store "1234" and checksum it.
+  a.movi(Reg::r4, kData);
+  for (char c : {'1', '2', '3', '4'}) {
+    a.movi(Reg::r5, static_cast<std::uint32_t>(c));
+    a.storeb(Reg::r4, Reg::r5);
+    a.addi(Reg::r4, 1);
+  }
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 4);
+  call(a, Api::Checksum);
+  call(a, Api::ExitProcess);  // exit code = crc32
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace.back().digest,
+            util::crc32(util::as_bytes("1234")));
+}
+
+TEST(VmApi, SleepAdvancesClock) {
+  Assembler a;
+  call(a, Api::GetTime);
+  a.movr(Reg::r4, Reg::r0);
+  a.movi(Reg::r0, 500);
+  call(a, Api::Sleep);
+  call(a, Api::GetTime);
+  a.sub(Reg::r0, Reg::r4);  // elapsed
+  call(a, Api::ExitProcess);
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.trace.back().digest, 500u);
+}
+
+TEST(VmApi, AllocReturnsDisjointWritableBlocks) {
+  Assembler a;
+  a.movi(Reg::r0, 64);
+  call(a, Api::Alloc);
+  a.movr(Reg::r4, Reg::r0);
+  a.movi(Reg::r0, 64);
+  call(a, Api::Alloc);
+  a.movr(Reg::r5, Reg::r0);
+  // Write to both blocks; print their distance as the exit code.
+  a.movi(Reg::r6, 0xAB);
+  a.storeb(Reg::r4, Reg::r6);
+  a.storeb(Reg::r5, Reg::r6);
+  a.movr(Reg::r0, Reg::r5);
+  a.sub(Reg::r0, Reg::r4);
+  call(a, Api::ExitProcess);
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok()) << r.fault_reason;
+  EXPECT_GE(r.trace.back().digest, 64u);
+}
+
+TEST(VmApi, ScreenshotAndKeylogProduceBoundedData) {
+  Assembler a;
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 32);
+  call(a, Api::Screenshot);
+  call(a, Api::KeylogStart);
+  a.movi(Reg::r0, kData + 64);
+  a.movi(Reg::r1, 8);
+  call(a, Api::KeylogDump);
+  call(a, Api::ExitProcess);  // r0 = keylog length (<= 8)
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.sensitive_calls(), 3u);
+  EXPECT_LE(r.trace.back().digest, 8u);
+}
+
+TEST(VmApi, StealCredsReadsVictimPasswordFile) {
+  Assembler a;
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 7);
+  call(a, Api::StealCreds);
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 7);
+  call(a, Api::Print);
+  a.halt();
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  // The victim's password file starts with "hunter2".
+  EXPECT_EQ(r.trace.back().digest, util::fnv1a64(std::string_view("hunter2")));
+}
+
+TEST(VmApi, EnumFilesTerminates) {
+  Assembler a;
+  const auto loop = a.make_label();
+  const auto done = a.make_label();
+  a.movi(Reg::r7, 0);  // count
+  a.bind(loop);
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 256);
+  call(a, Api::EnumFiles);
+  a.jz(Reg::r0, done);
+  a.addi(Reg::r7, 1);
+  a.jmp(loop);
+  a.bind(done);
+  a.movr(Reg::r0, Reg::r7);
+  call(a, Api::ExitProcess);
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  // The seeded victim environment has exactly 5 user files.
+  EXPECT_EQ(r.trace.back().digest, 5u);
+}
+
+TEST(VmApi, UnknownSyscallIsNoOp) {
+  Assembler a;
+  a.movi(Reg::r0, 77);
+  a.sys(0x7ABC);  // undefined id
+  call(a, Api::ExitProcess);  // r0 was zeroed by the unknown syscall
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace.back().digest, 0u);
+}
+
+TEST(VmApi, RegistryAndProcessEventsCarryArguments) {
+  Assembler a;
+  a.movi(Reg::r0, 0xBEEF);
+  call(a, Api::RegDeleteKey);
+  a.movi(Reg::r0, kData);
+  a.movi(Reg::r1, 0);
+  call(a, Api::CreateProc);
+  a.halt();
+  Machine m(make_exe(a));
+  const RunResult r = m.run();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0].digest, 0xBEEFu);
+  EXPECT_EQ(r.trace[0].api, static_cast<std::uint16_t>(Api::RegDeleteKey));
+}
+
+}  // namespace
+}  // namespace mpass::vm
