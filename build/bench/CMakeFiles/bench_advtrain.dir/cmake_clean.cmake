@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advtrain.dir/bench_advtrain.cpp.o"
+  "CMakeFiles/bench_advtrain.dir/bench_advtrain.cpp.o.d"
+  "bench_advtrain"
+  "bench_advtrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advtrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

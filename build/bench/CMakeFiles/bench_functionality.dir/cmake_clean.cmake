@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functionality.dir/bench_functionality.cpp.o"
+  "CMakeFiles/bench_functionality.dir/bench_functionality.cpp.o.d"
+  "bench_functionality"
+  "bench_functionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

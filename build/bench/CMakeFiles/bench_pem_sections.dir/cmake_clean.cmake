@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pem_sections.dir/bench_pem_sections.cpp.o"
+  "CMakeFiles/bench_pem_sections.dir/bench_pem_sections.cpp.o.d"
+  "bench_pem_sections"
+  "bench_pem_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pem_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_asr.dir/bench_table1_asr.cpp.o"
+  "CMakeFiles/bench_table1_asr.dir/bench_table1_asr.cpp.o.d"
+  "bench_table1_asr"
+  "bench_table1_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

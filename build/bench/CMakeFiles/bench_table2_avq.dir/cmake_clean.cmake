@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_avq.dir/bench_table2_avq.cpp.o"
+  "CMakeFiles/bench_table2_avq.dir/bench_table2_avq.cpp.o.d"
+  "bench_table2_avq"
+  "bench_table2_avq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_avq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

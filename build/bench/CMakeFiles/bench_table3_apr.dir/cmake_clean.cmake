@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_apr.dir/bench_table3_apr.cpp.o"
+  "CMakeFiles/bench_table3_apr.dir/bench_table3_apr.cpp.o.d"
+  "bench_table3_apr"
+  "bench_table3_apr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_apr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

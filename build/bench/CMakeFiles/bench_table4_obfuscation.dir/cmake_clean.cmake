@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_obfuscation.dir/bench_table4_obfuscation.cpp.o"
+  "CMakeFiles/bench_table4_obfuscation.dir/bench_table4_obfuscation.cpp.o.d"
+  "bench_table4_obfuscation"
+  "bench_table4_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

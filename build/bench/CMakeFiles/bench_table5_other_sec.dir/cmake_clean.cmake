@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_other_sec.dir/bench_table5_other_sec.cpp.o"
+  "CMakeFiles/bench_table5_other_sec.dir/bench_table5_other_sec.cpp.o.d"
+  "bench_table5_other_sec"
+  "bench_table5_other_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_other_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

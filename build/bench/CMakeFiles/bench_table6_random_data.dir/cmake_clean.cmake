@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_random_data.dir/bench_table6_random_data.cpp.o"
+  "CMakeFiles/bench_table6_random_data.dir/bench_table6_random_data.cpp.o.d"
+  "bench_table6_random_data"
+  "bench_table6_random_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_random_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_commercial_av.dir/attack_commercial_av.cpp.o"
+  "CMakeFiles/attack_commercial_av.dir/attack_commercial_av.cpp.o.d"
+  "attack_commercial_av"
+  "attack_commercial_av.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_commercial_av.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

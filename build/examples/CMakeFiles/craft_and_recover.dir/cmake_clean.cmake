@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/craft_and_recover.dir/craft_and_recover.cpp.o"
+  "CMakeFiles/craft_and_recover.dir/craft_and_recover.cpp.o.d"
+  "craft_and_recover"
+  "craft_and_recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/craft_and_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

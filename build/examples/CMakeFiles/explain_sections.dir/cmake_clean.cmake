@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_sections.dir/explain_sections.cpp.o"
+  "CMakeFiles/explain_sections.dir/explain_sections.cpp.o.d"
+  "explain_sections"
+  "explain_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

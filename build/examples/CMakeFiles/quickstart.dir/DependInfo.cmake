@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/mpass_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mpass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/mpass_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/mpass_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/pack/CMakeFiles/mpass_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/mpass_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mpass_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mpass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mpass_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mpass_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mpass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("pe")
+subdirs("isa")
+subdirs("vm")
+subdirs("corpus")
+subdirs("pack")
+subdirs("ml")
+subdirs("detectors")
+subdirs("explain")
+subdirs("core")
+subdirs("attack")
+subdirs("harness")

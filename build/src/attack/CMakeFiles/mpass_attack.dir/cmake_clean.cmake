@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_attack.dir/actions.cpp.o"
+  "CMakeFiles/mpass_attack.dir/actions.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/attack_util.cpp.o"
+  "CMakeFiles/mpass_attack.dir/attack_util.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/gamma.cpp.o"
+  "CMakeFiles/mpass_attack.dir/gamma.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/mab.cpp.o"
+  "CMakeFiles/mpass_attack.dir/mab.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/malrnn.cpp.o"
+  "CMakeFiles/mpass_attack.dir/malrnn.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/mpass_attack.cpp.o"
+  "CMakeFiles/mpass_attack.dir/mpass_attack.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/obfuscate.cpp.o"
+  "CMakeFiles/mpass_attack.dir/obfuscate.cpp.o.d"
+  "CMakeFiles/mpass_attack.dir/rla.cpp.o"
+  "CMakeFiles/mpass_attack.dir/rla.cpp.o.d"
+  "libmpass_attack.a"
+  "libmpass_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_core.dir/modification.cpp.o"
+  "CMakeFiles/mpass_core.dir/modification.cpp.o.d"
+  "CMakeFiles/mpass_core.dir/mpass.cpp.o"
+  "CMakeFiles/mpass_core.dir/mpass.cpp.o.d"
+  "CMakeFiles/mpass_core.dir/optimizer.cpp.o"
+  "CMakeFiles/mpass_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mpass_core.dir/recovery.cpp.o"
+  "CMakeFiles/mpass_core.dir/recovery.cpp.o.d"
+  "libmpass_core.a"
+  "libmpass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

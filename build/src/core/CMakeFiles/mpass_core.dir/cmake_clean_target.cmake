@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpass_core.a"
+)

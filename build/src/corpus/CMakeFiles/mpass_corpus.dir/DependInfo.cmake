@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/codegen.cpp" "src/corpus/CMakeFiles/mpass_corpus.dir/codegen.cpp.o" "gcc" "src/corpus/CMakeFiles/mpass_corpus.dir/codegen.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/mpass_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/mpass_corpus.dir/generator.cpp.o.d"
+  "/root/repo/src/corpus/spec.cpp" "src/corpus/CMakeFiles/mpass_corpus.dir/spec.cpp.o" "gcc" "src/corpus/CMakeFiles/mpass_corpus.dir/spec.cpp.o.d"
+  "/root/repo/src/corpus/strings.cpp" "src/corpus/CMakeFiles/mpass_corpus.dir/strings.cpp.o" "gcc" "src/corpus/CMakeFiles/mpass_corpus.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mpass_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mpass_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mpass_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_corpus.dir/codegen.cpp.o"
+  "CMakeFiles/mpass_corpus.dir/codegen.cpp.o.d"
+  "CMakeFiles/mpass_corpus.dir/generator.cpp.o"
+  "CMakeFiles/mpass_corpus.dir/generator.cpp.o.d"
+  "CMakeFiles/mpass_corpus.dir/spec.cpp.o"
+  "CMakeFiles/mpass_corpus.dir/spec.cpp.o.d"
+  "CMakeFiles/mpass_corpus.dir/strings.cpp.o"
+  "CMakeFiles/mpass_corpus.dir/strings.cpp.o.d"
+  "libmpass_corpus.a"
+  "libmpass_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_detect.dir/advtrain.cpp.o"
+  "CMakeFiles/mpass_detect.dir/advtrain.cpp.o.d"
+  "CMakeFiles/mpass_detect.dir/avsim.cpp.o"
+  "CMakeFiles/mpass_detect.dir/avsim.cpp.o.d"
+  "CMakeFiles/mpass_detect.dir/features.cpp.o"
+  "CMakeFiles/mpass_detect.dir/features.cpp.o.d"
+  "CMakeFiles/mpass_detect.dir/models.cpp.o"
+  "CMakeFiles/mpass_detect.dir/models.cpp.o.d"
+  "CMakeFiles/mpass_detect.dir/training.cpp.o"
+  "CMakeFiles/mpass_detect.dir/training.cpp.o.d"
+  "CMakeFiles/mpass_detect.dir/zoo.cpp.o"
+  "CMakeFiles/mpass_detect.dir/zoo.cpp.o.d"
+  "libmpass_detect.a"
+  "libmpass_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_explain.dir/pem.cpp.o"
+  "CMakeFiles/mpass_explain.dir/pem.cpp.o.d"
+  "CMakeFiles/mpass_explain.dir/shapley.cpp.o"
+  "CMakeFiles/mpass_explain.dir/shapley.cpp.o.d"
+  "libmpass_explain.a"
+  "libmpass_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

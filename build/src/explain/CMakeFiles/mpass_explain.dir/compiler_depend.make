@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpass_explain.
+# This may be replaced when dependencies are built.

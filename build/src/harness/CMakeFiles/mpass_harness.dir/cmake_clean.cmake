@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_harness.dir/experiment.cpp.o"
+  "CMakeFiles/mpass_harness.dir/experiment.cpp.o.d"
+  "libmpass_harness.a"
+  "libmpass_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

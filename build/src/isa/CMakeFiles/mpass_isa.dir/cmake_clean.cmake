@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_isa.dir/isa.cpp.o"
+  "CMakeFiles/mpass_isa.dir/isa.cpp.o.d"
+  "libmpass_isa.a"
+  "libmpass_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/byteconv.cpp" "src/ml/CMakeFiles/mpass_ml.dir/byteconv.cpp.o" "gcc" "src/ml/CMakeFiles/mpass_ml.dir/byteconv.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/mpass_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/mpass_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/gru.cpp" "src/ml/CMakeFiles/mpass_ml.dir/gru.cpp.o" "gcc" "src/ml/CMakeFiles/mpass_ml.dir/gru.cpp.o.d"
+  "/root/repo/src/ml/param.cpp" "src/ml/CMakeFiles/mpass_ml.dir/param.cpp.o" "gcc" "src/ml/CMakeFiles/mpass_ml.dir/param.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpass_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_ml.dir/byteconv.cpp.o"
+  "CMakeFiles/mpass_ml.dir/byteconv.cpp.o.d"
+  "CMakeFiles/mpass_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/mpass_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/mpass_ml.dir/gru.cpp.o"
+  "CMakeFiles/mpass_ml.dir/gru.cpp.o.d"
+  "CMakeFiles/mpass_ml.dir/param.cpp.o"
+  "CMakeFiles/mpass_ml.dir/param.cpp.o.d"
+  "libmpass_ml.a"
+  "libmpass_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_pack.dir/packer.cpp.o"
+  "CMakeFiles/mpass_pack.dir/packer.cpp.o.d"
+  "libmpass_pack.a"
+  "libmpass_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_pe.dir/import.cpp.o"
+  "CMakeFiles/mpass_pe.dir/import.cpp.o.d"
+  "CMakeFiles/mpass_pe.dir/pe.cpp.o"
+  "CMakeFiles/mpass_pe.dir/pe.cpp.o.d"
+  "libmpass_pe.a"
+  "libmpass_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpass_pe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_util.dir/bytes.cpp.o"
+  "CMakeFiles/mpass_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/compress.cpp.o"
+  "CMakeFiles/mpass_util.dir/compress.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/entropy.cpp.o"
+  "CMakeFiles/mpass_util.dir/entropy.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/hashing.cpp.o"
+  "CMakeFiles/mpass_util.dir/hashing.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/rng.cpp.o"
+  "CMakeFiles/mpass_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/serialize.cpp.o"
+  "CMakeFiles/mpass_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/stats.cpp.o"
+  "CMakeFiles/mpass_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mpass_util.dir/table.cpp.o"
+  "CMakeFiles/mpass_util.dir/table.cpp.o.d"
+  "libmpass_util.a"
+  "libmpass_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

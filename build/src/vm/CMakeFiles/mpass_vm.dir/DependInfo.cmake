@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/api.cpp" "src/vm/CMakeFiles/mpass_vm.dir/api.cpp.o" "gcc" "src/vm/CMakeFiles/mpass_vm.dir/api.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/vm/CMakeFiles/mpass_vm.dir/machine.cpp.o" "gcc" "src/vm/CMakeFiles/mpass_vm.dir/machine.cpp.o.d"
+  "/root/repo/src/vm/sandbox.cpp" "src/vm/CMakeFiles/mpass_vm.dir/sandbox.cpp.o" "gcc" "src/vm/CMakeFiles/mpass_vm.dir/sandbox.cpp.o.d"
+  "/root/repo/src/vm/trace_io.cpp" "src/vm/CMakeFiles/mpass_vm.dir/trace_io.cpp.o" "gcc" "src/vm/CMakeFiles/mpass_vm.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mpass_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pe/CMakeFiles/mpass_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mpass_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

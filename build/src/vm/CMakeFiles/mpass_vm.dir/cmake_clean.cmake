@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass_vm.dir/api.cpp.o"
+  "CMakeFiles/mpass_vm.dir/api.cpp.o.d"
+  "CMakeFiles/mpass_vm.dir/machine.cpp.o"
+  "CMakeFiles/mpass_vm.dir/machine.cpp.o.d"
+  "CMakeFiles/mpass_vm.dir/sandbox.cpp.o"
+  "CMakeFiles/mpass_vm.dir/sandbox.cpp.o.d"
+  "CMakeFiles/mpass_vm.dir/trace_io.cpp.o"
+  "CMakeFiles/mpass_vm.dir/trace_io.cpp.o.d"
+  "libmpass_vm.a"
+  "libmpass_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

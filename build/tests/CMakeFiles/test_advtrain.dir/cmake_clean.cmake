@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advtrain.dir/test_advtrain.cpp.o"
+  "CMakeFiles/test_advtrain.dir/test_advtrain.cpp.o.d"
+  "test_advtrain"
+  "test_advtrain.pdb"
+  "test_advtrain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advtrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

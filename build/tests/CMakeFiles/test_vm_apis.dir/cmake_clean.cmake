@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_apis.dir/test_vm_apis.cpp.o"
+  "CMakeFiles/test_vm_apis.dir/test_vm_apis.cpp.o.d"
+  "test_vm_apis"
+  "test_vm_apis.pdb"
+  "test_vm_apis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_pe[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_pack[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_detectors[1]_include.cmake")
+include("/root/repo/build/tests/test_explain[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_attacks[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_advtrain[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_apis[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
+add_test([=[cli_gen_run]=] "sh" "-c" "/root/repo/build/tools/mpass gen --malware --seed 5 --out cli_m.bin && /root/repo/build/tools/mpass run cli_m.bin && /root/repo/build/tools/mpass info cli_m.bin && /root/repo/build/tools/mpass disasm cli_m.bin")
+set_tests_properties([=[cli_gen_run]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_pack]=] "sh" "-c" "/root/repo/build/tools/mpass gen --benign --seed 6 --out cli_b.bin && /root/repo/build/tools/mpass pack cli_b.bin --packer aspack --out cli_b_packed.bin && /root/repo/build/tools/mpass run cli_b_packed.bin")
+set_tests_properties([=[cli_pack]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_usage]=] "/root/repo/build/tools/mpass")
+set_tests_properties([=[cli_usage]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")

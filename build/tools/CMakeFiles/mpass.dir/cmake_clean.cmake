@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpass.dir/mpass_cli.cpp.o"
+  "CMakeFiles/mpass.dir/mpass_cli.cpp.o.d"
+  "mpass"
+  "mpass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
