@@ -8,6 +8,7 @@
 
 #include "harness/experiment.hpp"
 #include "util/table.hpp"
+#include "util/threadpool.hpp"
 
 namespace mpass::bench {
 
@@ -53,6 +54,25 @@ inline std::vector<std::string> av_targets() {
 
 inline std::vector<std::string> main_attacks() {
   return {"MPass", "RLA", "MAB", "GAMMA", "MalRNN"};
+}
+
+/// Prints the per-cell compute-time / query-throughput counters collected
+/// by run_cell (all ~0 when the grid came straight from the result cache).
+/// wall_ms sums sample-task durations, so cells are comparable even though
+/// they interleave on the shared pool.
+inline void print_cell_timings(const std::vector<harness::CellStats>& cells) {
+  double total_ms = 0.0;
+  std::size_t total_q = 0;
+  for (const harness::CellStats& c : cells) {
+    total_ms += c.wall_ms;
+    total_q += c.total_queries;
+  }
+  std::printf("cell timing: %zu queries in %.0f ms cpu-cell time (threads=%zu)\n",
+              total_q, total_ms, util::ThreadPool::instance().size());
+  for (const harness::CellStats& c : cells)
+    if (c.wall_ms > 0.0)
+      std::printf("  %-12s vs %-10s %8.0f ms %8.0f q/s\n", c.attack.c_str(),
+                  c.target.c_str(), c.wall_ms, c.qps);
 }
 
 /// Exports a grid to results/<key>.csv next to the cache dir.

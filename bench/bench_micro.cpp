@@ -9,6 +9,7 @@
 #include "pack/packer.hpp"
 #include "pe/pe.hpp"
 #include "util/compress.hpp"
+#include "util/threadpool.hpp"
 #include "vm/sandbox.hpp"
 
 namespace {
@@ -94,6 +95,29 @@ void BM_ShapleyExact(benchmark::State& state) {
     benchmark::DoNotOptimize(explain::shapley_values(file, scorer));
 }
 BENCHMARK(BM_ShapleyExact);
+
+// Fan-out/join overhead of the harness thread pool: 64 small CPU-bound
+// tasks per iteration, the shape of one run_cell at MPASS_N=64. Arg is the
+// worker count.
+void BM_ThreadPoolFanout(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::future<std::uint64_t>> futs;
+    futs.reserve(64);
+    for (std::uint64_t i = 0; i < 64; ++i)
+      futs.push_back(pool.submit([i] {
+        std::uint64_t h = i;
+        for (int k = 0; k < 2000; ++k)
+          h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        return h;
+      }));
+    std::uint64_t acc = 0;
+    for (auto& f : futs) acc += pool.wait(std::move(f));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolFanout)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -29,6 +29,14 @@ class Attack {
   virtual AttackResult run(std::span<const std::uint8_t> malware,
                            detect::HardLabelOracle& oracle,
                            std::uint64_t seed) = 0;
+
+  /// Deep copy of this attack's current state (donor pools, learned
+  /// policies, owned surrogate models). The harness gives every parallel
+  /// (target, attack, sample) task its own clone, so per-sample runs are
+  /// independent of scheduling order. Returning nullptr marks the attack
+  /// non-clonable; such attacks run their samples sequentially on the
+  /// shared instance (order-dependent cross-sample state preserved).
+  virtual std::unique_ptr<Attack> clone() const { return nullptr; }
 };
 
 /// Computes APR for a result.

@@ -30,6 +30,11 @@ class Gamma : public Attack {
                    detect::HardLabelOracle& oracle,
                    std::uint64_t seed) override;
 
+  /// Copies the harvested donor-section library.
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<Gamma>(*this);
+  }
+
  private:
   struct Genome {
     std::vector<bool> use;      // which library sections to inject

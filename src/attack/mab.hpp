@@ -33,6 +33,11 @@ class Mab : public Attack {
                    detect::HardLabelOracle& oracle,
                    std::uint64_t seed) override;
 
+  /// Copies the Beta posteriors as-is (uniform priors before any run).
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<Mab>(*this);
+  }
+
  private:
   std::size_t sample_arm(util::Rng& rng);
 

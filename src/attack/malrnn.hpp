@@ -32,6 +32,13 @@ class MalRnn : public Attack {
                    detect::HardLabelOracle& oracle,
                    std::uint64_t seed) override;
 
+  /// Clones share the language model: GruLm::generate() only reads the
+  /// trained parameters (no lazy buffers), so concurrent sampling with
+  /// per-clone Rng streams is race-free.
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<MalRnn>(*this);
+  }
+
  private:
   MalRnnConfig cfg_;
   ml::GruLm& lm_;

@@ -43,6 +43,13 @@ class MpassAttack : public Attack {
     return out;
   }
 
+  /// Deep copy: the clone owns fresh copies of the known models, so its
+  /// ensemble optimization never shares forward caches with this instance.
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<MpassAttack>(name_, impl_.config(), impl_.pool(),
+                                         impl_.known(), CloneTag{});
+  }
+
   /// Standard MPass.
   static core::MpassConfig default_config();
   /// Table V ablation: modify every section *except* code/data.

@@ -19,6 +19,10 @@ class ObfuscateAttack : public Attack {
                    detect::HardLabelOracle& oracle,
                    std::uint64_t seed) override;
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<ObfuscateAttack>(*this);
+  }
+
  private:
   pack::PackerKind kind_;
 };

@@ -33,6 +33,12 @@ class Rla : public Attack {
                    detect::HardLabelOracle& oracle,
                    std::uint64_t seed) override;
 
+  /// Copies the Q-table as-is; a clone taken before any run starts from a
+  /// blank policy (the per-sample parallel harness does exactly that).
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<Rla>(*this);
+  }
+
  private:
   double& q(std::uint64_t state, std::size_t action);
   std::size_t choose(std::uint64_t state, util::Rng& rng);

@@ -46,6 +46,11 @@ class Mpass {
 
   const MpassConfig& config() const { return cfg_; }
 
+  /// Attacker assets, exposed so adapters can deep-copy an attack
+  /// (MpassAttack::clone re-clones the known models from these).
+  std::span<const util::ByteBuf> pool() const { return pool_; }
+  std::span<ml::ByteConvNet* const> known() const { return known_; }
+
  private:
   static MpassResult& finish(MpassResult& result,
                              const detect::HardLabelOracle& oracle,

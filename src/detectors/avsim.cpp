@@ -228,6 +228,16 @@ std::size_t CommercialAv::update(std::span<const ByteBuf> submissions) {
   return added;
 }
 
+std::unique_ptr<Detector> CommercialAv::clone() const {
+  auto copy = std::make_unique<CommercialAv>(profile_, Untrained{});
+  util::Archive ar;
+  save(ar);
+  const ByteBuf blob = ar.take();
+  util::Unarchive un(blob);
+  copy->load(un);
+  return copy;
+}
+
 void CommercialAv::save(util::Archive& ar) const {
   ar.tag("commercial-av");
   ar.str(profile_.name);

@@ -70,6 +70,11 @@ class CommercialAv : public Detector {
   std::string_view name() const override { return profile_.name; }
   double score(std::span<const std::uint8_t> bytes) const override;
 
+  /// Deep copy via the archive round-trip (model weights, signature DB,
+  /// benign whitelist, threshold). The clone starts a fresh
+  /// updates_applied() count -- it is a query target, not a learning AV.
+  std::unique_ptr<Detector> clone() const override;
+
   /// Weekly learning update: mines new signatures shared across the
   /// submitted (vendor-sandbox-confirmed malicious) samples.
   /// Returns the number of new signatures added.

@@ -30,6 +30,12 @@ class ByteConvDetector : public Detector {
     return net_.forward(bytes);
   }
 
+  /// Deep copy (ByteConvNet's copy constructor gives the clone private
+  /// parameters and forward caches).
+  std::unique_ptr<Detector> clone() const override {
+    return std::make_unique<ByteConvDetector>(*this);
+  }
+
   ml::ByteConvNet& net() const { return net_; }
 
   void save(util::Archive& ar) const;
@@ -55,6 +61,10 @@ class GbdtDetector : public Detector {
   double score(std::span<const std::uint8_t> bytes) const override {
     const std::vector<float> f = features(bytes);
     return gbdt_.predict(f);
+  }
+
+  std::unique_ptr<Detector> clone() const override {
+    return std::make_unique<GbdtDetector>(*this);
   }
 
   /// The feature extraction this detector was configured with.

@@ -1,7 +1,8 @@
 #include "harness/experiment.hpp"
 
+#include <bit>
+#include <chrono>
 #include <cstdlib>
-#include <thread>
 
 #include "attack/gamma.hpp"
 #include "attack/mab.hpp"
@@ -30,7 +31,7 @@ ExperimentConfig ExperimentConfig::from_env() {
 }
 
 std::uint64_t ExperimentConfig::digest() const {
-  std::uint64_t h = 7;  // bump to invalidate cached results
+  std::uint64_t h = 8;  // bump to invalidate cached results
   h = util::hash_combine(h, n_samples);
   h = util::hash_combine(h, max_queries);
   h = util::hash_combine(h, seed);
@@ -57,33 +58,180 @@ std::vector<ByteBuf> make_attack_set(
   return out;
 }
 
+namespace {
+
+/// Result of attacking one sample -- the unit of parallelism and of the
+/// per-sample result cache.
+struct SampleOutcome {
+  bool success = false;
+  ByteBuf adversarial;            // kept only for successful AEs
+  std::uint64_t queries = 0;      // attack-reported (the paper's AVQ input)
+  std::uint64_t total_queries = 0;  // oracle counter incl. failed runs
+  double apr = 0.0;
+  bool functional = false;
+  double ms = 0.0;  // attack compute time; not cached -- hits cost ~0
+};
+
+/// Shard directory for one (config digest, attack, target) cell; one file
+/// per sample digest inside it.
+std::filesystem::path sample_shard_dir(const ExperimentConfig& cfg,
+                                       std::string_view attack,
+                                       std::string_view target) {
+  char shard[160];
+  std::snprintf(shard, sizeof(shard), "%s-%s-%016llx",
+                std::string(attack).c_str(), std::string(target).c_str(),
+                static_cast<unsigned long long>(cfg.digest()));
+  return util::cache_dir() / "results" / "samples" / shard;
+}
+
+std::filesystem::path sample_path(const std::filesystem::path& shard,
+                                  std::uint64_t sample_digest) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "%016llx.bin",
+                static_cast<unsigned long long>(sample_digest));
+  return shard / name;
+}
+
+void save_sample(const std::filesystem::path& path, const SampleOutcome& s) {
+  util::Archive ar;
+  ar.tag("sample");
+  ar.u32(s.success ? 1 : 0);
+  ar.bytes(s.adversarial);
+  ar.u64(s.queries);
+  ar.u64(s.total_queries);
+  ar.f64(s.apr);
+  ar.u32(s.functional ? 1 : 0);
+  util::save_file(path, ar.take());
+}
+
+std::optional<SampleOutcome> load_sample(const std::filesystem::path& path) {
+  const auto blob = util::load_file(path);
+  if (!blob) return std::nullopt;
+  try {
+    util::Unarchive ar(*blob);
+    SampleOutcome s;
+    ar.tag("sample");
+    s.success = ar.u32() != 0;
+    s.adversarial = ar.bytes();
+    s.queries = ar.u64();
+    s.total_queries = ar.u64();
+    s.apr = ar.f64();
+    s.functional = ar.u32() != 0;
+    return s;
+  } catch (const util::ParseError&) {
+    return std::nullopt;
+  }
+}
+
+/// Attacks one sample; the RNG stream is derived from (seed, sample digest)
+/// so the outcome is a pure function of (config, attack, target, sample).
+SampleOutcome attack_one(attack::Attack& atk, const detect::Detector& target,
+                         const vm::Sandbox& sandbox,
+                         std::span<const std::uint8_t> sample,
+                         const ByteBuf& orig, const ExperimentConfig& cfg,
+                         std::uint64_t sample_digest) {
+  const auto t0 = std::chrono::steady_clock::now();
+  detect::HardLabelOracle oracle(target, cfg.max_queries);
+  const attack::AttackResult r =
+      atk.run(sample, oracle, util::hash_combine(cfg.seed, sample_digest));
+  SampleOutcome out;
+  out.total_queries = oracle.queries();
+  if (r.success) {
+    out.success = true;
+    out.queries = r.queries;
+    out.apr = r.apr;
+    // Paper §IV-A: verify AEs still show the original runtime behavior.
+    if (sandbox.functionality_preserved(orig, r.adversarial)) {
+      out.functional = true;
+      out.adversarial = r.adversarial;
+    }
+  }
+  out.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t CellStats::result_digest() const {
+  std::uint64_t h = util::fnv1a64(attack);
+  h = util::fnv1a64(target, h);
+  h = util::hash_combine(h, n);
+  h = util::hash_combine(h, successes);
+  for (double v : {asr, avq, apr, functional})
+    h = util::hash_combine(h, std::bit_cast<std::uint64_t>(v));
+  h = util::hash_combine(h, aes.size());
+  for (const ByteBuf& ae : aes) h = util::fnv1a64(ae, h);
+  return h;
+}
+
 CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
                    std::span<const ByteBuf> samples,
                    std::span<const ByteBuf> originals_for_sandbox,
-                   const ExperimentConfig& cfg) {
-  const vm::Sandbox sandbox;
+                   const ExperimentConfig& cfg, util::ThreadPool* pool) {
   CellStats stats;
   stats.attack = std::string(atk.name());
   stats.target = std::string(target.name());
   stats.n = samples.size();
 
+  std::vector<std::uint64_t> digests(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    digests[i] = util::fnv1a64(samples[i]);
+  const auto original_of = [&](std::size_t i) -> const ByteBuf& {
+    return originals_for_sandbox.empty() ? samples[i]
+                                         : originals_for_sandbox[i];
+  };
+
+  // Probe the clone contract once; prototypes are discarded.
+  const bool clonable = atk.clone() != nullptr && target.clone() != nullptr;
+
+  std::vector<SampleOutcome> outcomes(samples.size());
+  if (clonable) {
+    // One task per sample. Each task owns a cloned attack + cloned target
+    // (no shared forward caches) and consults the per-sample result cache
+    // first, so interrupted runs resume where they stopped.
+    const auto shard = sample_shard_dir(cfg, stats.attack, stats.target);
+    util::ThreadPool& tp = pool ? *pool : util::ThreadPool::instance();
+    std::vector<std::future<SampleOutcome>> futs;
+    futs.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      futs.push_back(tp.submit([&, i]() -> SampleOutcome {
+        const auto path = sample_path(shard, digests[i]);
+        if (cfg.use_cache)
+          if (auto hit = load_sample(path)) return *hit;
+        const std::unique_ptr<attack::Attack> a = atk.clone();
+        const std::unique_ptr<detect::Detector> t = target.clone();
+        const vm::Sandbox sandbox;
+        SampleOutcome out = attack_one(*a, *t, sandbox, samples[i],
+                                       original_of(i), cfg, digests[i]);
+        if (cfg.use_cache) save_sample(path, out);
+        return out;
+      }));
+    }
+    // Collect in sample order (tasks complete in any order; the aggregate
+    // below is order-deterministic regardless).
+    for (std::size_t i = 0; i < futs.size(); ++i)
+      outcomes[i] = tp.wait(std::move(futs[i]));
+  } else {
+    const vm::Sandbox sandbox;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      outcomes[i] = attack_one(atk, target, sandbox, samples[i],
+                               original_of(i), cfg, digests[i]);
+  }
+
   double sum_q = 0.0, sum_apr = 0.0;
   std::size_t functional = 0;
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    detect::HardLabelOracle oracle(target, cfg.max_queries);
-    const attack::AttackResult r =
-        atk.run(samples[i], oracle, util::hash_combine(cfg.seed, i));
-    if (!r.success) continue;
+  for (SampleOutcome& out : outcomes) {
+    stats.total_queries += out.total_queries;
+    stats.wall_ms += out.ms;
+    if (!out.success) continue;
     ++stats.successes;
-    sum_q += static_cast<double>(r.queries);
-    sum_apr += r.apr;
-    // Paper §IV-A: verify AEs still show the original runtime behavior.
-    const ByteBuf& orig = originals_for_sandbox.empty()
-                              ? samples[i]
-                              : originals_for_sandbox[i];
-    if (sandbox.functionality_preserved(orig, r.adversarial)) {
+    sum_q += static_cast<double>(out.queries);
+    sum_apr += out.apr;
+    if (out.functional) {
       ++functional;
-      stats.aes.push_back(r.adversarial);
+      stats.aes.push_back(std::move(out.adversarial));
     }
   }
   if (stats.n > 0)
@@ -95,6 +243,10 @@ CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
     stats.functional = 100.0 * static_cast<double>(functional) /
                        static_cast<double>(stats.successes);
   }
+  stats.qps = stats.wall_ms > 0.0
+                  ? static_cast<double>(stats.total_queries) /
+                        (stats.wall_ms / 1000.0)
+                  : 0.0;
   return stats;
 }
 
@@ -174,6 +326,9 @@ void save_cell(util::Archive& ar, const CellStats& c) {
   ar.f64(c.functional);
   ar.u32(static_cast<std::uint32_t>(c.aes.size()));
   for (const ByteBuf& ae : c.aes) ar.bytes(ae);
+  ar.u64(c.total_queries);
+  ar.f64(c.wall_ms);
+  ar.f64(c.qps);
 }
 
 CellStats load_cell(util::Unarchive& ar) {
@@ -189,6 +344,9 @@ CellStats load_cell(util::Unarchive& ar) {
   c.functional = ar.f64();
   c.aes.assign(ar.u32(), {});
   for (ByteBuf& ae : c.aes) ae = ar.bytes();
+  c.total_queries = ar.u64();
+  c.wall_ms = ar.f64();
+  c.qps = ar.f64();
   return c;
 }
 
@@ -251,37 +409,39 @@ std::vector<CellStats> run_grid(std::string_view key,
   const std::vector<ByteBuf> samples =
       make_attack_set(gate, cfg.n_samples, cfg.seed);
 
-  // One worker thread per target: a target detector is only ever queried
-  // from its own thread, and MPass workers own cloned known models, so no
-  // model's forward caches are shared across threads. All attacks (and
-  // their clones) are constructed up front on this thread -- cloning reads
-  // the source nets' state, which must not race with workers running them.
+  // Attack prototypes are constructed up front on this thread -- cloning
+  // reads the source nets' state, which must not race with tasks running
+  // them. Each (target, attack) cell then becomes a pool task, and each
+  // cell fans out one sub-task per sample (see run_cell); waiters help
+  // drain the pool, so nesting cannot deadlock. The unit of parallelism is
+  // (target, attack, sample) -- a 3-target grid no longer caps at 3 cores.
   std::vector<std::vector<std::unique_ptr<attack::Attack>>> attack_sets(
       targets.size());
   for (std::size_t t = 0; t < targets.size(); ++t)
     for (std::string_view atk_name : attacks)
       attack_sets[t].push_back(make_attack(atk_name, zoo, targets[t]->name()));
 
-  std::vector<std::vector<CellStats>> per_target(targets.size());
-  std::vector<std::thread> workers;
-  for (std::size_t t = 0; t < targets.size(); ++t) {
-    workers.emplace_back([&, t] {
-      detect::Detector* target = targets[t];
-      for (auto& atk : attack_sets[t]) {
-        per_target[t].push_back(
-            run_cell(*atk, *target, samples, samples, cfg));
-        const CellStats& c = per_target[t].back();
-        std::fprintf(stderr, "[%s] %s vs %s: ASR %.1f%% AVQ %.1f APR %.0f%%\n",
-                     std::string(key).c_str(), c.attack.c_str(),
-                     c.target.c_str(), c.asr, c.avq, c.apr);
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  util::ThreadPool& tp = util::ThreadPool::instance();
+  std::vector<std::future<CellStats>> futs;
+  futs.reserve(targets.size() * attacks.size());
+  for (std::size_t t = 0; t < targets.size(); ++t)
+    for (std::size_t a = 0; a < attacks.size(); ++a)
+      futs.push_back(tp.submit([&, t, a] {
+        return run_cell(*attack_sets[t][a], *targets[t], samples, samples,
+                        cfg, &tp);
+      }));
 
   std::vector<CellStats> cells;
-  for (auto& group : per_target)
-    for (CellStats& c : group) cells.push_back(std::move(c));
+  cells.reserve(futs.size());
+  for (std::future<CellStats>& fut : futs) {
+    cells.push_back(tp.wait(std::move(fut)));
+    const CellStats& c = cells.back();
+    std::fprintf(stderr,
+                 "[%s] %s vs %s: ASR %.1f%% AVQ %.1f APR %.0f%% "
+                 "(%.0f ms, %.0f q/s)\n",
+                 std::string(key).c_str(), c.attack.c_str(), c.target.c_str(),
+                 c.asr, c.avq, c.apr, c.wall_ms, c.qps);
+  }
   save_cells(key, cfg, cells);
   return cells;
 }

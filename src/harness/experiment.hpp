@@ -14,6 +14,7 @@
 
 #include "attack/attack.hpp"
 #include "detectors/zoo.hpp"
+#include "util/threadpool.hpp"
 #include "vm/sandbox.hpp"
 
 namespace mpass::harness {
@@ -39,6 +40,18 @@ struct CellStats {
   double apr = 0.0;              // mean APR (percent) over successful AEs
   double functional = 0.0;       // % of successful AEs passing the sandbox
   std::vector<util::ByteBuf> aes;  // functional successful AEs (Fig. 4 input)
+  // Throughput counters (informative only; excluded from result_digest()).
+  std::size_t total_queries = 0;  // oracle queries across all samples
+  // Summed per-sample attack compute time. Cells interleave on the shared
+  // pool, so a cell's wall-clock span says nothing about its cost; the sum
+  // of its sample-task durations does (and cache hits count as ~0).
+  double wall_ms = 0.0;
+  double qps = 0.0;  // total_queries / (wall_ms seconds)
+
+  /// Digest of the deterministic result fields (everything except the
+  /// timing counters). run_cell guarantees this is identical regardless of
+  /// MPASS_THREADS and scheduling order.
+  std::uint64_t result_digest() const;
 };
 
 /// Builds the attack sample set: validated malware detected by all `gate`
@@ -48,10 +61,23 @@ std::vector<util::ByteBuf> make_attack_set(
     std::uint64_t seed);
 
 /// Runs one attack against one target over the sample set.
+///
+/// When both the attack and the target are clonable, every sample becomes
+/// an independent task on the thread pool (`pool`, defaulting to
+/// ThreadPool::instance() sized by MPASS_THREADS): the task owns a cloned
+/// attack + cloned target and a deterministic RNG stream seeded from
+/// (cfg.seed, sample digest), so the aggregated CellStats (and its
+/// result_digest()) are identical for any thread count. Per-sample results
+/// are cached under (config digest, attack, target, sample digest), letting
+/// interrupted or partially invalidated runs resume instead of recomputing
+/// whole cells. Non-clonable attacks/targets (e.g. test doubles) run their
+/// samples sequentially on the shared instances, without the per-sample
+/// cache (cross-sample attack state makes cached entries order-dependent).
 CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
                    std::span<const util::ByteBuf> samples,
                    std::span<const util::ByteBuf> originals_for_sandbox,
-                   const ExperimentConfig& cfg);
+                   const ExperimentConfig& cfg,
+                   util::ThreadPool* pool = nullptr);
 
 /// Attack factory. Names: MPass, RLA, MAB, GAMMA, MalRNN, UPX, PESpin,
 /// ASPack, Other-sec, Random-data, MPass-noshuffle.
