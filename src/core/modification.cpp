@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mpass::core {
 
 using util::ByteBuf;
@@ -74,6 +76,7 @@ ModifiedSample apply_modification(std::span<const std::uint8_t> malware,
                                   std::span<const std::uint8_t> donor,
                                   const ModificationConfig& cfg,
                                   util::Rng& rng) {
+  OBS_SCOPE("core.modification");
   pe::PeFile file = pe::PeFile::parse(malware);
   const std::uint32_t oep_va = file.image_base + file.entry_point;
 

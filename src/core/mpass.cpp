@@ -1,6 +1,41 @@
 #include "core/mpass.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mpass::core {
+
+namespace {
+
+const char* target_mode_name(TargetMode m) {
+  switch (m) {
+    case TargetMode::CodeData: return "code+data";
+    case TargetMode::OtherSec: return "other-sec";
+    case TargetMode::None: return "none";
+  }
+  return "?";
+}
+
+/// Trace event describing the chosen donor's modification layout: how many
+/// bytes the optimizer may touch, where the recovery section (stub + keys)
+/// landed, and the section-targeting / shuffle strategy in effect.
+void trace_donor(const MpassConfig& cfg, const ModifiedSample& mod,
+                 int candidates, float ensemble_score) {
+  if (!obs::tracing()) return;
+  obs::Event("action")
+      .str("kind", "donor")
+      .uint("candidates", static_cast<std::uint64_t>(candidates))
+      .num("ensemble_score", ensemble_score)
+      .str("targets", target_mode_name(cfg.modification.targets))
+      .boolean("shuffle", cfg.modification.stub.shuffle)
+      .uint("perturbable", mod.perturbable.size())
+      .uint("coupled_keys", mod.key_of.size())
+      .uint("stub_off", mod.recovery_section_off)
+      .uint("stub_len", mod.recovery_section_len)
+      .num("apr", mod.apr);
+}
+
+}  // namespace
 
 using util::ByteBuf;
 
@@ -15,9 +50,18 @@ Mpass::Mpass(MpassConfig cfg, std::span<const ByteBuf> benign_pool,
 MpassResult Mpass::run(std::span<const std::uint8_t> malware,
                        detect::HardLabelOracle& oracle,
                        std::uint64_t seed) const {
+  OBS_SCOPE("attack.mpass.run");
   util::Rng rng(seed);
   MpassResult result;
   const std::size_t start_queries = oracle.queries();
+  // Ensemble-loss trace: one "opt" event per optimizer step, numbered
+  // monotonically across donors so the inspector can plot one loss curve
+  // per sample.
+  std::uint64_t opt_iter = 0;
+  const auto trace_opt = [&opt_iter](float loss) {
+    if (obs::tracing())
+      obs::Event("opt").uint("iter", ++opt_iter).num("loss", loss);
+  };
 
   const bool can_optimize =
       cfg_.optimize && !known_.empty() && !cfg_.random_content;
@@ -49,6 +93,7 @@ MpassResult Mpass::run(std::span<const std::uint8_t> malware,
         have_mod = true;
       }
     }
+    trace_donor(cfg_, mod, donor_candidates, best_score);
     if (cfg_.random_content)
       for (std::uint32_t p : mod.perturbable) mod.set_byte(p, rng.byte());
 
@@ -57,11 +102,12 @@ MpassResult Mpass::run(std::span<const std::uint8_t> malware,
     // resource: keep optimizing until the ensemble consensus is benign
     // enough or the local budget runs out.
     if (can_optimize) {
-      for (int s = 0; s < cfg_.opt_steps_per_query; ++s) opt->step(mod);
+      for (int s = 0; s < cfg_.opt_steps_per_query; ++s)
+        trace_opt(opt->step(mod));
       for (int s = 0; s < cfg_.max_gate_steps &&
                       opt->ensemble_score(mod.bytes) > cfg_.query_gate_score;
            ++s)
-        opt->step(mod);
+        trace_opt(opt->step(mod));
     }
 
     result.adversarial = mod.bytes;
@@ -77,6 +123,9 @@ MpassResult Mpass::run(std::span<const std::uint8_t> malware,
       if (!cfg_.random_content) continue;
       while (!oracle.exhausted()) {
         for (std::uint32_t p : mod.perturbable) mod.set_byte(p, rng.byte());
+        if (obs::tracing())
+          obs::Event("action").str("kind", "randomize").uint(
+              "bytes", mod.perturbable.size());
         if (!oracle.query(mod.bytes)) {
           result.success = true;
           result.adversarial = mod.bytes;
@@ -92,12 +141,16 @@ MpassResult Mpass::run(std::span<const std::uint8_t> malware,
     int stalls = 0;
     while (!oracle.exhausted() && donor_queries < cfg_.queries_per_donor) {
       float loss = 0.0f;
-      for (int s = 0; s < cfg_.opt_steps_per_query; ++s)
+      for (int s = 0; s < cfg_.opt_steps_per_query; ++s) {
         loss = opt->step(mod);
+        trace_opt(loss);
+      }
       for (int s = 0; s < cfg_.max_gate_steps &&
                       opt->ensemble_score(mod.bytes) > cfg_.query_gate_score;
-           ++s)
+           ++s) {
         loss = opt->step(mod);
+        trace_opt(loss);
+      }
       if (!oracle.query(mod.bytes)) {
         result.success = true;
         result.adversarial = mod.bytes;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mpass::core {
 
 EnsembleOptimizer::EnsembleOptimizer(std::vector<ml::ByteConvNet*> known)
@@ -27,6 +29,7 @@ float EnsembleOptimizer::ensemble_loss(
 }
 
 float EnsembleOptimizer::step(ModifiedSample& sample) const {
+  OBS_SCOPE("core.opt_step");
   const std::size_t m = known_.size();
 
   // Forward + input gradients toward the benign label per known model.

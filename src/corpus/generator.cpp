@@ -5,6 +5,8 @@
 
 #include "corpus/codegen.hpp"
 #include "corpus/strings.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
@@ -225,6 +227,8 @@ void save_dataset(const Dataset& dataset, const std::filesystem::path& dir) {
              (s.meta.overlay_dependent ? "1" : "0") + "\n";
   }
   util::save_file(dir / "index.csv", util::to_bytes(index));
+  obs::logf(obs::LogLevel::Debug, "corpus: saved %zu samples to %s",
+            dataset.samples.size(), dir.string().c_str());
 }
 
 Dataset load_dataset(const std::filesystem::path& dir) {
@@ -247,6 +251,10 @@ Dataset load_dataset(const std::filesystem::path& dir) {
 
 Dataset generate_dataset(std::uint64_t seed, std::size_t n_malware,
                          std::size_t n_benign) {
+  OBS_SCOPE("corpus.generate");
+  obs::logf(obs::LogLevel::Debug,
+            "corpus: generating %zu malware + %zu benign (seed %llu)",
+            n_malware, n_benign, static_cast<unsigned long long>(seed));
   Dataset ds;
   ds.samples.reserve(n_malware + n_benign);
   for (std::size_t i = 0; i < n_malware; ++i) {

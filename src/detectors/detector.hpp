@@ -9,6 +9,7 @@
 #include <span>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace mpass::detect {
@@ -52,9 +53,20 @@ class HardLabelOracle {
 
   /// Hard-label query; increments the counter.
   /// Returns true if the detector flags the sample as malicious.
+  /// Inside an obs::TraceScope, each query emits a trace event carrying the
+  /// verdict and the underlying score -- the score is observability only
+  /// and is never returned to the attack (the threat model stays
+  /// hard-label).
   bool query(std::span<const std::uint8_t> bytes) {
     ++queries_;
-    return detector_.is_malicious(bytes);
+    const double s = detector_.score(bytes);
+    const bool malicious = s >= detector_.threshold();
+    if (obs::tracing())
+      obs::Event("query")
+          .uint("i", queries_)
+          .boolean("malicious", malicious)
+          .num("score", s);
+    return malicious;
   }
 
   std::size_t queries() const { return queries_; }

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "isa/isa.hpp"
+#include "obs/metrics.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
 #include "util/entropy.hpp"
@@ -177,6 +178,7 @@ std::span<const std::string_view> parsed_feature_names() {
 }
 
 std::vector<float> extract_features(std::span<const std::uint8_t> bytes) {
+  OBS_SCOPE("detect.features");
   std::vector<float> out;
   out.reserve(feature_dim());
 

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "pack/packer.hpp"
 #include "util/hashing.hpp"
 
@@ -226,12 +228,20 @@ void ModelZoo::build_or_load() {
         lightgbm_->load(ar);
         lm_->load(ar);
         for (auto& s : surrogates_) s->load(ar);
+        obs::logf(obs::LogLevel::Debug, "zoo: loaded offline models from %s",
+                  path.string().c_str());
         return;
       } catch (const util::ParseError&) {
-        // stale cache: fall through to retrain
+        obs::logf(obs::LogLevel::Warn,
+                  "zoo: stale model cache %s, retraining",
+                  path.string().c_str());
       }
     }
   }
+  obs::logf(obs::LogLevel::Info,
+            "zoo: training offline models (train=%zu test=%zu epochs=%d)",
+            train_.samples.size(), test_.samples.size(), cfg_.net_epochs);
+  OBS_SCOPE("zoo.train");
 
   // Train the target nets and surrogates in parallel, GBDT + LM here.
   NetTrainConfig tc;
@@ -262,8 +272,11 @@ void ModelZoo::build_or_load() {
   }
   for (std::thread& t : workers) t.join();
 
-  for (Detector* d : offline())
+  for (Detector* d : offline()) {
     calibrate_threshold(*d, train_, cfg_.target_fpr);
+    obs::logf(obs::LogLevel::Debug, "zoo: %s calibrated, threshold %.4f",
+              std::string(d->name()).c_str(), d->threshold());
+  }
   for (auto& s : surrogates_)
     calibrate_threshold(*s, attacker_train, cfg_.target_fpr);
 
@@ -319,12 +332,19 @@ void ModelZoo::build_avs() {
         }
         avs_ = std::move(loaded);
         avs_built_ = true;
+        obs::logf(obs::LogLevel::Debug, "zoo: loaded %zu AVs from cache",
+                  avs_.size());
         return;
       } catch (const util::ParseError&) {
+        obs::logf(obs::LogLevel::Warn, "zoo: stale AV cache %s, retraining",
+                  path.string().c_str());
       }
     }
   }
 
+  obs::logf(obs::LogLevel::Info, "zoo: training %zu commercial-AV simulators",
+            profiles.size());
+  OBS_SCOPE("zoo.train_avs");
   avs_.resize(profiles.size());
   std::vector<std::thread> workers;
   for (std::size_t i = 0; i < profiles.size(); ++i)

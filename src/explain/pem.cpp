@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mpass::explain {
 
 using util::ByteBuf;
@@ -10,6 +14,7 @@ using util::ByteBuf;
 PemResult run_pem(std::span<const ByteBuf> malware,
                   std::span<const detect::Detector* const> known_models,
                   const PemConfig& cfg) {
+  OBS_SCOPE("pem.run");
   PemResult out;
 
   // Parse once; skip unparsable inputs.
@@ -51,6 +56,7 @@ PemResult run_pem(std::span<const ByteBuf> malware,
 
     ShapleyOptions sopts = cfg.shapley;
     for (const pe::PeFile& file : files) {
+      OBS_SCOPE("pem.shapley");
       ++sopts.seed;  // decorrelate MC sampling across samples
       const auto players = section_players(file);
       const std::vector<double> phi = shapley_values(
@@ -98,6 +104,19 @@ PemResult run_pem(std::span<const ByteBuf> malware,
             topk_sets[m].end())
           in_all = false;
       if (in_all) out.critical.push_back(s);
+    }
+  }
+
+  // When MPASS_TRACE is on, publish each model's section ranking so the
+  // trace inspector can show *why* the attack targets the sections it does.
+  if (obs::trace_dir()) {
+    for (std::size_t m = 0; m < out.model_names.size(); ++m) {
+      obs::JsonLine line;
+      line.str("ev", "pem").str("model", out.model_names[m]);
+      line.strs("ranking", out.per_model_topk[m]);
+      if (m < out.top2_over_top3.size())
+        line.num("top2_over_top3", out.top2_over_top3[m]);
+      obs::append_run_line("pem.jsonl", line.take());
     }
   }
   return out;

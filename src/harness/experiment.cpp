@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 
 #include "attack/gamma.hpp"
@@ -11,6 +12,9 @@
 #include "attack/obfuscate.hpp"
 #include "attack/rla.hpp"
 #include "corpus/generator.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/hashing.hpp"
 #include "util/serialize.hpp"
 
@@ -31,7 +35,7 @@ ExperimentConfig ExperimentConfig::from_env() {
 }
 
 std::uint64_t ExperimentConfig::digest() const {
-  std::uint64_t h = 8;  // bump to invalidate cached results
+  std::uint64_t h = 9;  // bump to invalidate cached results
   h = util::hash_combine(h, n_samples);
   h = util::hash_combine(h, max_queries);
   h = util::hash_combine(h, seed);
@@ -70,6 +74,11 @@ struct SampleOutcome {
   double apr = 0.0;
   bool functional = false;
   double ms = 0.0;  // attack compute time; not cached -- hits cost ~0
+  // True when loaded from the per-sample cache (never serialized). Cache
+  // hits skip the attack entirely, so they produce no trace file; run_cell
+  // reports the fresh-run count as "traced" in cells.jsonl so the trace
+  // checker knows which cells can reconcile query totals.
+  bool from_cache = false;
 };
 
 /// Shard directory for one (config digest, attack, target) cell; one file
@@ -131,6 +140,11 @@ SampleOutcome attack_one(attack::Attack& atk, const detect::Detector& target,
                          const ByteBuf& orig, const ExperimentConfig& cfg,
                          std::uint64_t sample_digest) {
   const auto t0 = std::chrono::steady_clock::now();
+  // One trace file per executed (attack, target, sample) run; the oracle
+  // and the attack emit query/opt/action events into it while the scope is
+  // open. Cache hits never reach this function, so never re-trace.
+  obs::TraceScope trace(atk.name(), target.name(), sample_digest, cfg.seed,
+                        cfg.max_queries);
   detect::HardLabelOracle oracle(target, cfg.max_queries);
   const attack::AttackResult r =
       atk.run(sample, oracle, util::hash_combine(cfg.seed, sample_digest));
@@ -149,6 +163,13 @@ SampleOutcome attack_one(attack::Attack& atk, const detect::Detector& target,
   out.ms = std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - t0)
                .count();
+  if (obs::tracing())
+    obs::Event("end")
+        .boolean("success", out.success)
+        .uint("queries", out.total_queries)
+        .num("apr", out.apr)
+        .num("ms", out.ms)
+        .boolean("functional", out.functional);
   return out;
 }
 
@@ -199,7 +220,10 @@ CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
       futs.push_back(tp.submit([&, i]() -> SampleOutcome {
         const auto path = sample_path(shard, digests[i]);
         if (cfg.use_cache)
-          if (auto hit = load_sample(path)) return *hit;
+          if (auto hit = load_sample(path)) {
+            hit->from_cache = true;
+            return *hit;
+          }
         const std::unique_ptr<attack::Attack> a = atk.clone();
         const std::unique_ptr<detect::Detector> t = target.clone();
         const vm::Sandbox sandbox;
@@ -221,10 +245,11 @@ CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
   }
 
   double sum_q = 0.0, sum_apr = 0.0;
-  std::size_t functional = 0;
+  std::size_t functional = 0, fresh = 0;
   for (SampleOutcome& out : outcomes) {
     stats.total_queries += out.total_queries;
     stats.wall_ms += out.ms;
+    if (!out.from_cache) ++fresh;
     if (!out.success) continue;
     ++stats.successes;
     sum_q += static_cast<double>(out.queries);
@@ -243,10 +268,29 @@ CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
     stats.functional = 100.0 * static_cast<double>(functional) /
                        static_cast<double>(stats.successes);
   }
-  stats.qps = stats.wall_ms > 0.0
+  // Guard both the zero and the non-finite case: all-cache-hit cells have
+  // wall_ms == 0 (or denormal sums), and qps must stay a finite number --
+  // it is serialized and later printed with %.0f.
+  stats.qps = std::isfinite(stats.wall_ms) && stats.wall_ms > 1e-9
                   ? static_cast<double>(stats.total_queries) /
                         (stats.wall_ms / 1000.0)
                   : 0.0;
+  if (!std::isfinite(stats.qps)) stats.qps = 0.0;
+  if (obs::trace_dir()) {
+    // Reconciliation anchor for tools/mpass_trace --check: when traced == n
+    // every sample left a fresh trace file and the sum of their end.queries
+    // must equal total_queries; cells with cache hits cannot reconcile.
+    obs::JsonLine line;
+    line.str("ev", "cell")
+        .str("attack", stats.attack)
+        .str("target", stats.target)
+        .uint("n", stats.n)
+        .uint("traced", fresh)
+        .uint("total_queries", stats.total_queries)
+        .num("wall_ms", stats.wall_ms);
+    obs::append_run_line("cells.jsonl", line.take());
+  }
+  stats.metrics = obs::Registry::instance().snapshot().flat();
   return stats;
 }
 
@@ -329,6 +373,11 @@ void save_cell(util::Archive& ar, const CellStats& c) {
   ar.u64(c.total_queries);
   ar.f64(c.wall_ms);
   ar.f64(c.qps);
+  ar.u32(static_cast<std::uint32_t>(c.metrics.size()));
+  for (const auto& [name, value] : c.metrics) {
+    ar.str(name);
+    ar.f64(value);
+  }
 }
 
 CellStats load_cell(util::Unarchive& ar) {
@@ -347,6 +396,11 @@ CellStats load_cell(util::Unarchive& ar) {
   c.total_queries = ar.u64();
   c.wall_ms = ar.f64();
   c.qps = ar.f64();
+  c.metrics.resize(ar.u32());
+  for (auto& [name, value] : c.metrics) {
+    name = ar.str();
+    value = ar.f64();
+  }
   return c;
 }
 
@@ -436,13 +490,14 @@ std::vector<CellStats> run_grid(std::string_view key,
   for (std::future<CellStats>& fut : futs) {
     cells.push_back(tp.wait(std::move(fut)));
     const CellStats& c = cells.back();
-    std::fprintf(stderr,
-                 "[%s] %s vs %s: ASR %.1f%% AVQ %.1f APR %.0f%% "
-                 "(%.0f ms, %.0f q/s)\n",
-                 std::string(key).c_str(), c.attack.c_str(), c.target.c_str(),
-                 c.asr, c.avq, c.apr, c.wall_ms, c.qps);
+    obs::logf(obs::LogLevel::Info,
+              "[%s] %s vs %s: ASR %.1f%% AVQ %.1f APR %.0f%% "
+              "(%.0f ms, %.0f q/s)",
+              std::string(key).c_str(), c.attack.c_str(), c.target.c_str(),
+              c.asr, c.avq, c.apr, c.wall_ms, c.qps);
   }
   save_cells(key, cfg, cells);
+  obs::write_metrics_snapshot();
   return cells;
 }
 

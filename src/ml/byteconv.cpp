@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace mpass::ml {
 
 namespace {
@@ -77,6 +79,7 @@ std::size_t ByteConvNet::time_steps(std::size_t n_tokens) const {
 }
 
 float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
+  OBS_SCOPE("ml.byteconv.forward");
   const int d = cfg_.embed_dim;
   const int F = cfg_.filters;
   const int W = cfg_.width;
@@ -171,6 +174,7 @@ float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
 
 float ByteConvNet::backward(float target, std::vector<float>* input_grad,
                             bool accumulate_params, float soft_pool_tau) {
+  OBS_SCOPE("ml.byteconv.backward");
   const int d = cfg_.embed_dim;
   const int F = cfg_.filters;
   const int W = cfg_.width;

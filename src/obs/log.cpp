@@ -1,0 +1,104 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace mpass::obs {
+
+namespace {
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> level{[] {
+    const char* v = std::getenv("MPASS_LOG_LEVEL");
+    return static_cast<int>(parse_log_level(v ? v : ""));
+  }()};
+  return level;
+}
+
+int next_thread_id() {
+  static std::atomic<int> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local const int tl_thread_id = next_thread_id();
+thread_local std::string tl_tag;
+
+std::mutex& sink_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string s(name);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "warn" || s == "warning") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off" || s == "none") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_slot().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_slot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_tag(std::string_view tag) { tl_tag.assign(tag); }
+
+std::string_view log_tag() { return tl_tag; }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  const auto now = std::chrono::system_clock::now();
+  const auto since_midnight =
+      now.time_since_epoch() % std::chrono::hours(24);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(since_midnight)
+          .count();
+  static constexpr char kLetters[] = {'D', 'I', 'W', 'E'};
+  const char letter =
+      kLetters[std::clamp(static_cast<int>(level), 0, 3)];
+
+  char prefix[192];
+  if (tl_tag.empty()) {
+    std::snprintf(prefix, sizeof(prefix), "[%c %02lld:%02lld:%02lld.%03lld t%02d]",
+                  letter, static_cast<long long>(ms / 3600000),
+                  static_cast<long long>(ms / 60000 % 60),
+                  static_cast<long long>(ms / 1000 % 60),
+                  static_cast<long long>(ms % 1000), tl_thread_id);
+  } else {
+    std::snprintf(prefix, sizeof(prefix),
+                  "[%c %02lld:%02lld:%02lld.%03lld t%02d %s]", letter,
+                  static_cast<long long>(ms / 3600000),
+                  static_cast<long long>(ms / 60000 % 60),
+                  static_cast<long long>(ms / 1000 % 60),
+                  static_cast<long long>(ms % 1000), tl_thread_id,
+                  tl_tag.c_str());
+  }
+
+  std::lock_guard<std::mutex> lk(sink_mu());
+  std::fprintf(stderr, "%s %s\n", prefix, msg);
+}
+
+}  // namespace mpass::obs

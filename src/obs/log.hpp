@@ -1,0 +1,45 @@
+// Structured leveled logger for the attack pipeline.
+//
+// Lines go to stderr as
+//   [W 00:01:02.345 t03 MPass/AV1/0123456789abcdef] message
+// where t03 is a small per-thread id and the tag is the thread's current
+// sample context (set by obs::TraceScope while a sample is being attacked,
+// empty otherwise).
+//
+// MPASS_LOG_LEVEL selects the minimum level: debug | info (default) |
+// warn | error | off. The level check is a relaxed atomic load, so disabled
+// levels cost one branch; format arguments are evaluated at the call site,
+// so keep expensive ones out of debug logs on hot paths.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace mpass::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Parses a level name (case-insensitive: debug | info | warn | error |
+/// off); unknown names fall back to Info.
+LogLevel parse_log_level(std::string_view name);
+
+/// Current minimum level (parsed once from MPASS_LOG_LEVEL).
+LogLevel log_level();
+
+/// Overrides the level at runtime (tests, CLI flags). Thread-safe.
+void set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+/// printf-style log line; a '\n' is appended. Thread-safe (one write()).
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+/// Sets/clears the calling thread's sample tag shown in the line prefix.
+/// Managed by TraceScope; scopes nest (the previous tag is restored).
+void set_log_tag(std::string_view tag);
+std::string_view log_tag();
+
+}  // namespace mpass::obs

@@ -1,0 +1,165 @@
+// Lock-cheap metrics registry: named counters, gauges and fixed-bucket
+// histograms, sharded per thread and merged on snapshot.
+//
+// Design:
+//   * Registration (name -> MetricId) takes a registry mutex once per call
+//     site; handles and OBS_SCOPE cache the id in a function-local static.
+//   * The hot path (inc/observe) touches only the calling thread's shard:
+//     a bounds check plus relaxed atomic updates on slots only this thread
+//     writes. No locks, no contention -- safe from any thread, including
+//     the work-stealing util::ThreadPool workers.
+//   * snapshot() merges all live shards (briefly locking each to fence
+//     against shard growth) plus the totals retired by exited threads, so
+//     the merged view is deterministic: it depends only on the updates
+//     performed, never on which thread performed them.
+//   * Threads retire their shard through a shared_ptr to the registry core,
+//     so worker threads that outlive the registry singleton (static
+//     destruction order is unspecified) merge into a still-live core
+//     instead of a dangling pointer.
+//
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase,
+// "<subsystem>.<what>[.<detail>]"; scoped-timer histograms are
+// "time.<scope>" with millisecond buckets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpass::obs {
+
+using MetricId = std::uint32_t;
+
+/// Merged view of every metric at one point in time.
+struct Snapshot {
+  struct Histogram {
+    std::vector<double> bounds;          // upper bucket bounds; +inf implicit
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+
+  /// Flat (name, value) view: counters as-is, gauges, and per histogram
+  /// "<name>.count" / "<name>.sum". Used to embed snapshots in CellStats.
+  std::vector<std::pair<std::string, double>> flat() const;
+};
+
+class Registry {
+ public:
+  /// Process-wide registry.
+  static Registry& instance();
+
+  /// Registers (or looks up) a metric; same (kind, name) always yields the
+  /// same id. Throws std::invalid_argument if `name` is already registered
+  /// with a different kind (or different histogram bounds).
+  MetricId counter(std::string_view name);
+  MetricId gauge(std::string_view name);
+  MetricId histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Gauge whose value is computed at snapshot time (e.g. queue depth).
+  /// Re-registering a name replaces the callback. The callback must remain
+  /// valid until replaced (pass owning lambdas for static-lifetime objects).
+  void gauge_callback(std::string_view name, std::function<double()> fn);
+
+  void inc(MetricId id, std::uint64_t delta = 1) noexcept;
+  void set(MetricId id, double value) noexcept;
+  void observe(MetricId id, double value) noexcept;
+
+  Snapshot snapshot() const;
+
+  struct Core;  // implementation detail, public only for the .cpp's TLS hook
+
+ private:
+  Registry();
+  std::shared_ptr<Core> core_;
+};
+
+// ---- ergonomic handles ------------------------------------------------------
+
+class Counter {
+ public:
+  explicit Counter(std::string_view name)
+      : id_(Registry::instance().counter(name)) {}
+  void inc(std::uint64_t delta = 1) const noexcept {
+    Registry::instance().inc(id_, delta);
+  }
+
+ private:
+  MetricId id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name)
+      : id_(Registry::instance().gauge(name)) {}
+  void set(double v) const noexcept { Registry::instance().set(id_, v); }
+
+ private:
+  MetricId id_;
+};
+
+class Histogram {
+ public:
+  Histogram(std::string_view name, std::span<const double> bounds)
+      : id_(Registry::instance().histogram(name, bounds)) {}
+  void observe(double v) const noexcept {
+    Registry::instance().observe(id_, v);
+  }
+
+ private:
+  MetricId id_;
+};
+
+/// Default wall-time buckets for scoped timers, in milliseconds
+/// (exponential 10us .. 30s).
+std::span<const double> time_bounds();
+
+/// RAII wall-time observer feeding a "time.<scope>" histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId id) noexcept
+      : id_(id), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+    Registry::instance().observe(id_, ms);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Registers "time.<scope>" with the default time buckets (cached by the
+  /// OBS_SCOPE macro in a function-local static).
+  static MetricId timer_id(std::string_view scope);
+
+ private:
+  MetricId id_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+#define MPASS_OBS_CONCAT2(a, b) a##b
+#define MPASS_OBS_CONCAT(a, b) MPASS_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope into the "time.<name>" histogram. One-time
+/// registration cost per call site; two clock reads per execution.
+#define OBS_SCOPE(name)                                          \
+  static const ::mpass::obs::MetricId MPASS_OBS_CONCAT(          \
+      obs_scope_id_, __LINE__) =                                 \
+      ::mpass::obs::ScopedTimer::timer_id(name);                 \
+  ::mpass::obs::ScopedTimer MPASS_OBS_CONCAT(obs_scope_timer_,   \
+                                             __LINE__)(          \
+      MPASS_OBS_CONCAT(obs_scope_id_, __LINE__))
+
+}  // namespace mpass::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 
 namespace mpass::pe {
@@ -36,6 +37,7 @@ bool PeFile::looks_like_pe(std::span<const std::uint8_t> bytes) {
 }
 
 PeFile PeFile::parse(std::span<const std::uint8_t> bytes) {
+  OBS_SCOPE("pe.parse");
   ByteReader r(bytes);
   PeFile out;
 
@@ -183,6 +185,7 @@ std::size_t PeFile::add_section(std::string_view name, ByteBuf data,
 ByteBuf PeFile::build() const { return build_with_layout(nullptr); }
 
 ByteBuf PeFile::build_with_layout(Layout* layout) const {
+  OBS_SCOPE("pe.build");
   ByteWriter w;
 
   // ---- DOS header + stub.

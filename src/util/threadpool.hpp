@@ -14,6 +14,12 @@
 //
 // Pool size: ThreadPool::instance() honors MPASS_THREADS, defaulting to
 // std::thread::hardware_concurrency().
+//
+// Observability: scheduling counters (pool.tasks.submitted, pool.pops.local
+// / .injector / .steal) go through the obs::Registry; the shared instance()
+// pool also exports a pool.pending queue-depth gauge. The conservation
+// invariant submits == sum(pops) after a drain is tested in
+// test_threadpool.cpp.
 #pragma once
 
 #include <atomic>
