@@ -35,6 +35,15 @@ RecoverySection build_recovery_section(std::span<const RegionPlan> regions,
                                        std::span<const std::uint8_t> filler,
                                        const StubOptions& opts,
                                        util::Rng& rng) {
+  // Validate the knobs before any sizing math: max_gap < min_gap would
+  // underflow the below() bound into a ~2^64 gap (a multi-GB allocation),
+  // and chunk_items == 0 is an invalid below() bound outright.
+  if (opts.chunk_items < 1)
+    throw std::invalid_argument("recovery: StubOptions.chunk_items must be >= 1");
+  if (opts.max_gap < opts.min_gap)
+    throw std::invalid_argument(
+        "recovery: StubOptions.max_gap must be >= min_gap");
+
   if (regions.size() != keys.size())
     throw std::logic_error("recovery: regions/keys size mismatch");
   for (std::size_t i = 0; i < regions.size(); ++i)

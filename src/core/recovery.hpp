@@ -28,11 +28,14 @@ struct RegionPlan {
   std::uint32_t prot = 1;  // protection restored during decode (1=W, 3=W+X)
 };
 
+/// Knobs for the stub layout. build_recovery_section validates them up
+/// front and throws std::invalid_argument if chunk_items < 1 or
+/// max_gap < min_gap.
 struct StubOptions {
   bool shuffle = true;
-  std::size_t chunk_items = 2;   // max instructions per shuffled chunk
+  std::size_t chunk_items = 2;   // max instructions per shuffled chunk (>= 1)
   std::size_t min_gap = 4;       // gap bytes between chunks
-  std::size_t max_gap = 16;
+  std::size_t max_gap = 16;      // must be >= min_gap
   std::size_t lead_filler = 0;   // benign filler *before* the stub
 };
 

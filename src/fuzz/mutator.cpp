@@ -1,0 +1,294 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <optional>
+
+namespace mpass::fuzz {
+
+using util::ByteBuf;
+using util::Rng;
+
+namespace {
+
+constexpr std::size_t kDosHeaderSize = 64;
+constexpr std::size_t kCoffSize = 20;
+constexpr std::size_t kOptSize = 224;
+constexpr std::size_t kSectionHeaderSize = 40;
+
+// Section-header field offsets (within one 40-byte entry).
+constexpr std::size_t kSecName = 0;
+constexpr std::size_t kSecVSize = 8;
+constexpr std::size_t kSecVAddr = 12;
+constexpr std::size_t kSecRawSize = 16;
+constexpr std::size_t kSecRawPtr = 20;
+constexpr std::size_t kSecChars = 36;
+
+/// Boundary values that flush out wrap-around and off-by-one bugs. Values
+/// relative to the file size are appended by interesting_u32().
+constexpr std::uint32_t kInteresting[] = {
+    0,          1,          2,          3,          4,          7,
+    8,          0x3C,       0x40,       0x7F,       0x80,       0xFF,
+    0x100,      0x200,      0x1FF,      0x201,      0x1000,     0x7FFF,
+    0x8000,     0xFFFF,     0x10000,    0x100000,   0x7FFFFFFF, 0x80000000,
+    0xFFFFFF00, 0xFFFFFFF0, 0xFFFFFFFC, 0xFFFFFFFD, 0xFFFFFFFE, 0xFFFFFFFF,
+};
+
+std::uint32_t interesting_u32(const ByteBuf& bytes, Rng& rng) {
+  const std::size_t n = std::size(kInteresting);
+  const std::uint64_t pick = rng.below(n + 4);
+  const auto size = static_cast<std::uint32_t>(bytes.size());
+  switch (pick) {
+    case 0: return size;
+    case 1: return size > 0 ? size - 1 : 0;
+    case 2: return size > 4 ? size - 4 : 0;
+    case 3: return static_cast<std::uint32_t>(rng());
+    default: return kInteresting[pick - 4];
+  }
+}
+
+void put_u32(ByteBuf& bytes, std::size_t off, std::uint32_t v) {
+  if (off + 4 <= bytes.size()) util::write_le<std::uint32_t>(bytes.data() + off, v);
+}
+
+void put_u16(ByteBuf& bytes, std::size_t off, std::uint16_t v) {
+  if (off + 2 <= bytes.size()) util::write_le<std::uint16_t>(bytes.data() + off, v);
+}
+
+std::uint32_t get_u32(const ByteBuf& bytes, std::size_t off) {
+  return off + 4 <= bytes.size() ? util::read_le<std::uint32_t>(bytes.data() + off)
+                                 : 0;
+}
+
+/// Offset of a random section-header field, or nullopt if no header fits.
+struct SecField {
+  std::size_t off;
+  std::size_t field;
+};
+std::optional<SecField> pick_section_field(const ByteBuf& bytes,
+                                           const PeFieldMap& map, Rng& rng,
+                                           std::size_t field) {
+  const std::size_t fit = map.sections_in(bytes.size());
+  if (!map.valid || fit == 0) return std::nullopt;
+  const std::size_t i = rng.below(fit);
+  return SecField{map.section_header(i) + field, field};
+}
+
+// ---- mutators --------------------------------------------------------------
+
+void mut_flip_bytes(ByteBuf& bytes, const PeFieldMap&, Rng& rng) {
+  if (bytes.empty()) return;
+  const std::size_t flips = 1 + rng.below(32);
+  for (std::size_t i = 0; i < flips; ++i)
+    bytes[rng.below(bytes.size())] = rng.byte();
+}
+
+void mut_lfanew(ByteBuf& bytes, const PeFieldMap&, Rng& rng) {
+  put_u32(bytes, 0x3C, interesting_u32(bytes, rng));
+}
+
+void mut_nsections(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  const std::uint16_t cur = map.nsections;
+  const std::uint16_t choices[] = {0, 1, 96, 97, 0xFF, 0xFFFF,
+                                   static_cast<std::uint16_t>(cur + 1),
+                                   static_cast<std::uint16_t>(cur - 1)};
+  put_u16(bytes, map.coff_off + 2, choices[rng.below(std::size(choices))]);
+}
+
+void mut_opt_size(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  const std::uint16_t choices[] = {0, 4, 223, 224, 225, 512, 0xFFFF};
+  put_u16(bytes, map.coff_off + 16, choices[rng.below(std::size(choices))]);
+}
+
+void mut_alignments(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  const std::uint32_t choices[] = {0,      1,          2,         3,
+                                   0x200,  0x201,      0x1000,    0x8000,
+                                   0xFFFF, 0x10000,    0x20000,   0x1000000,
+                                   0x80000000, 0xFFFFFFFF};
+  // SectionAlignment at opt+32, FileAlignment at opt+36.
+  const std::size_t off = map.opt_off + (rng.chance(0.5) ? 32 : 36);
+  put_u32(bytes, off, choices[rng.below(std::size(choices))]);
+}
+
+void mut_entry_and_bases(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  // AddressOfEntryPoint at opt+16, ImageBase at opt+28.
+  const std::size_t off = map.opt_off + (rng.chance(0.5) ? 16 : 28);
+  put_u32(bytes, off, interesting_u32(bytes, rng));
+}
+
+void mut_data_dirs(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  // NumberOfRvaAndSizes at opt+92, directory table right after.
+  if (rng.chance(0.3)) {
+    const std::uint32_t choices[] = {0, 1, 15, 16, 17, 0xFFFFFFFF};
+    put_u32(bytes, map.opt_off + 92, choices[rng.below(std::size(choices))]);
+    return;
+  }
+  const std::size_t dir = rng.below(16);
+  put_u32(bytes, map.opt_off + 96 + dir * 8 + (rng.chance(0.5) ? 0 : 4),
+          interesting_u32(bytes, rng));
+}
+
+void mut_section_field(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  static constexpr std::size_t kFields[] = {kSecName,    kSecVSize, kSecVAddr,
+                                            kSecRawSize, kSecRawPtr, kSecChars};
+  const auto f = pick_section_field(bytes, map, rng,
+                                    kFields[rng.below(std::size(kFields))]);
+  if (!f) return mut_flip_bytes(bytes, map, rng);
+  if (f->field == kSecName) {
+    const std::size_t b = f->off + rng.below(8);
+    if (b < bytes.size()) bytes[b] = rng.byte();
+  } else {
+    put_u32(bytes, f->off, interesting_u32(bytes, rng));
+  }
+}
+
+void mut_raw_wrap_pair(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  // The classic uint32-wrap probe: raw_ptr + raw_size == 0x100 (mod 2^32).
+  const auto f = pick_section_field(bytes, map, rng, kSecRawSize);
+  if (!f) return mut_flip_bytes(bytes, map, rng);
+  const std::size_t hdr = f->off - kSecRawSize;
+  put_u32(bytes, hdr + kSecRawPtr, 0xFFFFFF00u);
+  put_u32(bytes, hdr + kSecRawSize, 0x200u);
+}
+
+void mut_unalign_raw_size(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  // Shrinks a raw size below its file-alignment padding so the padding sits
+  // between the section data and the overlay.
+  const auto f = pick_section_field(bytes, map, rng, kSecRawSize);
+  if (!f) return mut_flip_bytes(bytes, map, rng);
+  const std::uint32_t cur = get_u32(bytes, f->off);
+  if (cur == 0) return;
+  put_u32(bytes, f->off, cur - static_cast<std::uint32_t>(
+                                   1 + rng.below(std::min<std::uint32_t>(
+                                           cur, 0x1FF))));
+}
+
+void mut_dup_section_header(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  // Copies one section header over another and bumps NumberOfSections.
+  const std::size_t fit = map.sections_in(bytes.size());
+  if (!map.valid || fit == 0) return mut_flip_bytes(bytes, map, rng);
+  const std::size_t src = map.section_header(rng.below(fit));
+  const std::size_t dst = map.section_header(rng.below(fit));
+  if (src + kSectionHeaderSize <= bytes.size() &&
+      dst + kSectionHeaderSize <= bytes.size())
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(src),
+                kSectionHeaderSize,
+                bytes.begin() + static_cast<std::ptrdiff_t>(dst));
+  put_u16(bytes, map.coff_off + 2,
+          static_cast<std::uint16_t>(map.nsections + 1));
+}
+
+void mut_checksum_field(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (!map.valid) return;
+  put_u32(bytes, map.opt_off + 64, interesting_u32(bytes, rng));
+}
+
+void mut_truncate(ByteBuf& bytes, const PeFieldMap& map, Rng& rng) {
+  if (bytes.size() < 2) return;
+  std::size_t at;
+  if (map.valid && rng.chance(0.5)) {
+    // Cut at a structural edge +/- a small jitter.
+    const std::size_t edges[] = {kDosHeaderSize, map.lfanew, map.opt_off,
+                                 map.table_off,
+                                 map.table_off +
+                                     map.nsections * kSectionHeaderSize};
+    const std::size_t e = edges[rng.below(std::size(edges))];
+    const std::size_t jitter = rng.below(8);
+    at = e > jitter ? e - jitter : e + jitter;
+  } else {
+    at = 1 + rng.below(bytes.size() - 1);
+  }
+  bytes.resize(std::min(std::max<std::size_t>(at, 1), bytes.size()));
+}
+
+void mut_extend_overlay(ByteBuf& bytes, const PeFieldMap&, Rng& rng) {
+  const std::size_t n = 1 + rng.below(4096);
+  if (rng.chance(0.5)) {
+    bytes.resize(bytes.size() + n, 0);
+  } else {
+    const ByteBuf extra = rng.bytes(n);
+    bytes.insert(bytes.end(), extra.begin(), extra.end());
+  }
+}
+
+void mut_splice(ByteBuf& bytes, const PeFieldMap&, Rng& rng) {
+  if (bytes.size() < 16) return;
+  const std::size_t len = 1 + rng.below(std::min<std::size_t>(bytes.size() / 2, 256));
+  const std::size_t src = rng.below(bytes.size() - len + 1);
+  const std::size_t dst = rng.below(bytes.size() - len + 1);
+  std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(src), len,
+              bytes.begin() + static_cast<std::ptrdiff_t>(dst));
+}
+
+void mut_zero_range(ByteBuf& bytes, const PeFieldMap&, Rng& rng) {
+  if (bytes.empty()) return;
+  const std::size_t len = 1 + rng.below(std::min<std::size_t>(bytes.size(), 128));
+  const std::size_t at = rng.below(bytes.size() - len + 1);
+  std::fill_n(bytes.begin() + static_cast<std::ptrdiff_t>(at), len, 0);
+}
+
+constexpr Mutator kCatalogue[] = {
+    {"flip_bytes", mut_flip_bytes},
+    {"lfanew", mut_lfanew},
+    {"nsections", mut_nsections},
+    {"opt_size", mut_opt_size},
+    {"alignments", mut_alignments},
+    {"entry_and_bases", mut_entry_and_bases},
+    {"data_dirs", mut_data_dirs},
+    {"section_field", mut_section_field},
+    {"raw_wrap_pair", mut_raw_wrap_pair},
+    {"unalign_raw_size", mut_unalign_raw_size},
+    {"dup_section_header", mut_dup_section_header},
+    {"checksum_field", mut_checksum_field},
+    {"truncate", mut_truncate},
+    {"extend_overlay", mut_extend_overlay},
+    {"splice", mut_splice},
+    {"zero_range", mut_zero_range},
+};
+
+}  // namespace
+
+std::size_t PeFieldMap::sections_in(std::size_t size) const {
+  if (!valid || table_off >= size) return 0;
+  return std::min<std::size_t>(nsections,
+                               (size - table_off) / kSectionHeaderSize);
+}
+
+PeFieldMap map_pe_fields(std::span<const std::uint8_t> bytes) {
+  PeFieldMap m;
+  if (bytes.size() < kDosHeaderSize) return m;
+  if (util::read_le<std::uint16_t>(bytes.data()) != 0x5A4D) return m;
+  m.lfanew = util::read_le<std::uint32_t>(bytes.data() + 0x3C);
+  const std::uint64_t sig = m.lfanew;
+  if (sig + 4 + kCoffSize > bytes.size()) return m;
+  m.coff_off = static_cast<std::size_t>(sig + 4);
+  m.opt_off = m.coff_off + kCoffSize;
+  m.nsections = util::read_le<std::uint16_t>(bytes.data() + m.coff_off + 2);
+  const std::uint16_t opt_size =
+      util::read_le<std::uint16_t>(bytes.data() + m.coff_off + 16);
+  m.table_off = m.opt_off + std::max<std::size_t>(opt_size, kOptSize);
+  m.valid = true;
+  return m;
+}
+
+std::span<const Mutator> mutator_catalogue() { return kCatalogue; }
+
+std::vector<std::string_view> mutate(util::ByteBuf& bytes, util::Rng& rng,
+                                     std::size_t rounds) {
+  std::vector<std::string_view> applied;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    // Re-map each round: earlier mutations may have moved/destroyed fields.
+    const PeFieldMap map = map_pe_fields(bytes);
+    const Mutator& m = kCatalogue[rng.below(std::size(kCatalogue))];
+    m.apply(bytes, map, rng);
+    applied.push_back(m.name);
+  }
+  return applied;
+}
+
+}  // namespace mpass::fuzz

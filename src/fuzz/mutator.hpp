@@ -1,0 +1,61 @@
+// Structure-aware PE32 mutators for the correctness fuzzer.
+//
+// Unlike blind byte flipping, these mutators know where the interesting
+// fields of a PE file live (e_lfanew, COFF counts, optional-header
+// alignments, section-table entries, the overlay) and hit them with
+// boundary values that historically break parsers: 32-bit wrap pairs
+// (raw_ptr + raw_size overflowing uint32), sizes straddling the file end,
+// zero/non-power-of-two alignments, unaligned raw sizes in front of an
+// overlay, duplicated section headers, truncations at structural edges.
+//
+// All mutators are deterministic given the Rng and never read outside the
+// buffer they mutate, so any fuzz finding is reproducible from (seed, iter).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::fuzz {
+
+/// Offsets of the structural fields of a PE32 buffer, recovered tolerantly:
+/// valid is false when the buffer is too small or not MZ/PE-shaped, in which
+/// case structure-aware mutators degrade to generic byte mutations.
+struct PeFieldMap {
+  bool valid = false;
+  std::uint32_t lfanew = 0;   // value of e_lfanew
+  std::size_t coff_off = 0;   // file offset of the COFF header
+  std::size_t opt_off = 0;    // file offset of the optional header
+  std::size_t table_off = 0;  // file offset of the section table
+  std::uint16_t nsections = 0;
+
+  std::size_t section_header(std::size_t i) const {
+    return table_off + i * 40;
+  }
+  /// Number of section headers that actually fit inside `size` bytes.
+  std::size_t sections_in(std::size_t size) const;
+};
+
+/// Maps the structural offsets of bytes (never throws).
+PeFieldMap map_pe_fields(std::span<const std::uint8_t> bytes);
+
+/// One named mutation strategy. apply() mutates in place; it must accept any
+/// buffer (including empty / non-PE) without reading out of bounds.
+struct Mutator {
+  std::string_view name;
+  void (*apply)(util::ByteBuf& bytes, const PeFieldMap& map, util::Rng& rng);
+};
+
+/// The full mutator catalogue (stable order; names are stable identifiers
+/// used in fuzz reports and docs/FUZZING.md).
+std::span<const Mutator> mutator_catalogue();
+
+/// Applies `rounds` randomly chosen catalogue mutators in place and returns
+/// the names applied, in order.
+std::vector<std::string_view> mutate(util::ByteBuf& bytes, util::Rng& rng,
+                                     std::size_t rounds);
+
+}  // namespace mpass::fuzz

@@ -24,6 +24,11 @@ std::vector<Import> decode_imports(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   if (r.u32() != kImportMagic) throw util::ParseError("imports: bad magic");
   const std::uint32_t count = r.u32();
+  // Each entry is at least 3 bytes (api_id + name length), so a count larger
+  // than that bound cannot be satisfied by the payload; reserving it blindly
+  // would turn a hostile 32-bit count into a multi-GB allocation.
+  if (count > r.remaining() / 3)
+    throw util::ParseError("imports: count exceeds payload");
   std::vector<Import> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {

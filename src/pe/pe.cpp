@@ -17,12 +17,28 @@ constexpr std::uint32_t kDosHeaderSize = 64;
 constexpr std::uint32_t kCoffSize = 20;
 constexpr std::uint32_t kOptSize = 224;  // PE32 with 16 data directories
 constexpr std::uint32_t kSectionHeaderSize = 40;
+// CheckSum field offset within the optional header (thus e_lfanew + 0x58
+// from the start of the file: 4 signature + 20 COFF + 0x40).
+constexpr std::uint32_t kChecksumOptOffset = 0x40;
+// Hard caps rejected at parse time. The Windows loader refuses images with
+// more than 96 sections; alignments must be powers of two (FileAlignment at
+// most 64K per spec). Without the caps, hostile headers drive the builder
+// into 32-bit align_up overflows and quadratic allocation.
+constexpr std::uint16_t kMaxSections = 96;
+constexpr std::uint32_t kMaxFileAlign = 0x10000;
+constexpr std::uint32_t kMaxSectionAlign = 0x1000000;
+
+constexpr std::uint64_t align_up64(std::uint64_t v, std::uint64_t align) {
+  return align == 0 ? v : (v + align - 1) / align * align;
+}
 }  // namespace
 
 std::optional<std::size_t> Layout::section_of(std::uint32_t off) const {
   for (std::size_t i = 0; i < sections.size(); ++i) {
+    // 64-bit end: offset + size near UINT32_MAX must not wrap the bound.
     if (off >= sections[i].file_offset &&
-        off < sections[i].file_offset + sections[i].raw_size)
+        off < static_cast<std::uint64_t>(sections[i].file_offset) +
+                  sections[i].raw_size)
       return i;
   }
   return std::nullopt;
@@ -32,7 +48,9 @@ bool PeFile::looks_like_pe(std::span<const std::uint8_t> bytes) {
   if (bytes.size() < kDosHeaderSize) return false;
   if (util::read_le<std::uint16_t>(bytes.data()) != kDosMagic) return false;
   const std::uint32_t lfanew = util::read_le<std::uint32_t>(bytes.data() + 0x3C);
-  if (lfanew + 4 > bytes.size()) return false;
+  // 64-bit arithmetic: lfanew + 4 wraps for lfanew >= 0xFFFFFFFC and would
+  // pass the bound, sending the signature read out of bounds.
+  if (static_cast<std::uint64_t>(lfanew) + 4 > bytes.size()) return false;
   return util::read_le<std::uint32_t>(bytes.data() + lfanew) == kPeSignature;
 }
 
@@ -56,6 +74,7 @@ PeFile PeFile::parse(std::span<const std::uint8_t> bytes) {
   // COFF header.
   out.machine = r.u16();
   const std::uint16_t nsections = r.u16();
+  if (nsections > kMaxSections) throw ParseError("pe: too many sections");
   out.timestamp = r.u32();
   r.u32();  // PointerToSymbolTable
   r.u32();  // NumberOfSymbols
@@ -79,6 +98,11 @@ PeFile PeFile::parse(std::span<const std::uint8_t> bytes) {
   out.file_align = r.u32();
   if (out.file_align == 0 || out.section_align == 0)
     throw ParseError("pe: zero alignment");
+  if ((out.file_align & (out.file_align - 1)) != 0 ||
+      (out.section_align & (out.section_align - 1)) != 0)
+    throw ParseError("pe: alignment not a power of two");
+  if (out.file_align > kMaxFileAlign || out.section_align > kMaxSectionAlign)
+    throw ParseError("pe: alignment too large");
   r.u16(); r.u16();  // OS version
   r.u16(); r.u16();  // image version
   r.u16(); r.u16();  // subsystem version
@@ -99,9 +123,14 @@ PeFile PeFile::parse(std::span<const std::uint8_t> bytes) {
   }
   r.seek(opt_start + opt_size);
 
-  // Section table + raw data.
-  std::uint32_t raw_end = static_cast<std::uint32_t>(r.pos()) +
-                          nsections * kSectionHeaderSize;
+  // Section table + raw data. raw_end tracks where raw content (headers,
+  // section data and their file-alignment padding) stops and the overlay
+  // begins. It is aligned up to file_align so the builder's padding is never
+  // absorbed into the overlay on reparse (which would grow the file on every
+  // round trip), and kept in 64 bits so hostile pointers cannot wrap it.
+  std::uint64_t raw_end = align_up64(
+      r.pos() + static_cast<std::uint64_t>(nsections) * kSectionHeaderSize,
+      out.file_align);
   for (std::uint16_t i = 0; i < nsections; ++i) {
     Section s;
     s.name = r.fixed_string(8);
@@ -113,17 +142,23 @@ PeFile PeFile::parse(std::span<const std::uint8_t> bytes) {
     r.u16(); r.u16();  // counts
     s.characteristics = r.u32();
     if (raw_size > 0) {
-      if (raw_ptr + raw_size > bytes.size())
+      // 64-bit arithmetic: raw_ptr + raw_size overflows uint32 (e.g.
+      // raw_ptr=0xFFFFFF00, raw_size=0x200 wraps to 0x100) and would pass
+      // the bound, turning the copy below into an out-of-bounds read.
+      const std::uint64_t data_end =
+          static_cast<std::uint64_t>(raw_ptr) + raw_size;
+      if (data_end > bytes.size())
         throw ParseError("pe: section data out of bounds");
       s.data.assign(bytes.begin() + raw_ptr,
-                    bytes.begin() + raw_ptr + raw_size);
-      raw_end = std::max(raw_end, raw_ptr + raw_size);
+                    bytes.begin() + static_cast<std::ptrdiff_t>(data_end));
+      raw_end = std::max(raw_end, align_up64(data_end, out.file_align));
     }
     out.sections.push_back(std::move(s));
   }
 
   if (raw_end < bytes.size())
-    out.overlay = ByteBuf(bytes.begin() + raw_end, bytes.end());
+    out.overlay = ByteBuf(bytes.begin() + static_cast<std::ptrdiff_t>(raw_end),
+                          bytes.end());
   return out;
 }
 
@@ -138,8 +173,13 @@ std::uint32_t PeFile::headers_size() const {
 std::uint32_t PeFile::next_free_rva() const {
   std::uint32_t end = align_up(headers_size(), section_align);
   for (const Section& s : sections) {
-    const std::uint32_t span =
-        std::max(s.vsize, static_cast<std::uint32_t>(s.data.size()));
+    // The span uses the file-alignment-padded data size: a reparse reads the
+    // padded raw data back into the model, so sizing from the unpadded bytes
+    // would grow SizeOfImage across round trips whenever file_align exceeds
+    // section_align.
+    const std::uint32_t raw =
+        align_up(static_cast<std::uint32_t>(s.data.size()), file_align);
+    const std::uint32_t span = std::max(s.vsize, raw);
     end = std::max(end, align_up(s.vaddr + std::max(span, 1u), section_align));
   }
   return end;
@@ -164,7 +204,11 @@ std::optional<std::size_t> PeFile::section_by_rva(std::uint32_t rva) const {
     const Section& s = sections[i];
     const std::uint32_t span =
         std::max(s.vsize, static_cast<std::uint32_t>(s.data.size()));
-    if (rva >= s.vaddr && rva < s.vaddr + std::max(span, 1u)) return i;
+    // 64-bit end: a section at vaddr near UINT32_MAX must still contain its
+    // own vaddr rather than wrapping the bound to a tiny value.
+    if (rva >= s.vaddr &&
+        rva < static_cast<std::uint64_t>(s.vaddr) + std::max(span, 1u))
+      return i;
   }
   return std::nullopt;
 }
@@ -297,22 +341,38 @@ ByteBuf PeFile::build_with_layout(Layout* layout) const {
 }
 
 void PeFile::update_checksum() {
-  checksum = 0;
+  // compute_checksum folds the stored CheckSum field as zero, so the stale
+  // value embedded by build() does not perturb the result.
   checksum = compute_checksum(build());
 }
 
 std::uint32_t PeFile::compute_checksum(std::span<const std::uint8_t> bytes) {
   // Standard PE checksum: 16-bit one's-complement-style folded sum of the
-  // whole file (checksum field treated as zero) plus the file length.
+  // whole file (checksum field treated as zero) plus the file length. The
+  // CheckSum field lives at e_lfanew + 4 + kCoffSize + kChecksumOptOffset;
+  // folding it as zero makes a built file verify against its own stored
+  // checksum.
+  std::size_t csum_off = bytes.size();  // no maskable field by default
+  if (bytes.size() >= kDosHeaderSize &&
+      util::read_le<std::uint16_t>(bytes.data()) == kDosMagic) {
+    const std::uint32_t lfanew =
+        util::read_le<std::uint32_t>(bytes.data() + 0x3C);
+    const std::uint64_t off =
+        static_cast<std::uint64_t>(lfanew) + 4 + kCoffSize + kChecksumOptOffset;
+    if (off + 4 <= bytes.size()) csum_off = static_cast<std::size_t>(off);
+  }
+  const auto byte_at = [&](std::size_t j) -> std::uint32_t {
+    return (j >= csum_off && j < csum_off + 4) ? 0 : bytes[j];
+  };
   std::uint64_t sum = 0;
   std::size_t i = 0;
   while (i + 2 <= bytes.size()) {
-    sum += util::read_le<std::uint16_t>(bytes.data() + i);
+    sum += byte_at(i) | (byte_at(i + 1) << 8);
     sum = (sum & 0xFFFF) + (sum >> 16);
     i += 2;
   }
   if (i < bytes.size()) {
-    sum += bytes[i];
+    sum += byte_at(i);
     sum = (sum & 0xFFFF) + (sum >> 16);
   }
   sum = (sum & 0xFFFF) + (sum >> 16);

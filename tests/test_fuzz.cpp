@@ -1,23 +1,338 @@
-// Robustness properties: no component may crash, hang, or corrupt state on
-// adversarial input -- attacks feed these code paths mutated files
-// constantly. Parameterized sweeps over seeds act as a deterministic fuzzer.
+// Correctness-tooling tests: the corpus-driven regression runner over
+// tests/fuzz_corpus/ (committed minimized crashers), targeted regressions
+// for each bug the structure-aware fuzzer flushed out, a bounded
+// deterministic fuzz sweep through the differential round-trip oracle
+// (src/fuzz/), and the legacy robustness sweeps.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "corpus/generator.hpp"
 #include "detectors/features.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/oracle.hpp"
 #include "isa/isa.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
 #include "util/compress.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 #include "vm/sandbox.hpp"
+
+#ifndef MPASS_FUZZ_CORPUS_DIR
+#define MPASS_FUZZ_CORPUS_DIR "tests/fuzz_corpus"
+#endif
 
 namespace mpass {
 namespace {
 
 using util::ByteBuf;
+
+// ---- corpus-driven regression runner ---------------------------------------
+// Every committed input in tests/fuzz_corpus/ once violated an invariant
+// (see docs/FUZZING.md for the catalogue); all must now pass the full
+// differential oracle. Reproduce one by hand with:
+//   mpass_fuzz repro tests/fuzz_corpus/<file>
+
+std::vector<std::filesystem::path> corpus_files(const char* extension) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MPASS_FUZZ_CORPUS_DIR))
+    if (entry.is_regular_file() && entry.path().extension() == extension)
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FuzzCorpus, CommittedPeInputsSatisfyAllInvariants) {
+  const auto files = corpus_files(".bin");
+  ASSERT_FALSE(files.empty()) << "no .bin inputs in " << MPASS_FUZZ_CORPUS_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    const auto data = util::load_file(path);
+    ASSERT_TRUE(data.has_value());
+    for (const fuzz::Violation& v : fuzz::check_pe_invariants(*data))
+      ADD_FAILURE() << fuzz::kind_name(v.kind) << ": " << v.message;
+  }
+}
+
+TEST(FuzzCorpus, CommittedStubKnobsSatisfyTheOptionsContract) {
+  const auto files = corpus_files(".knobs");
+  ASSERT_FALSE(files.empty()) << "no .knobs inputs in "
+                              << MPASS_FUZZ_CORPUS_DIR;
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.string());
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    const core::StubOptions opts = fuzz::parse_stub_knobs(text);
+    const auto v = fuzz::check_stub_options(opts);
+    EXPECT_FALSE(v.has_value())
+        << fuzz::kind_name(v->kind) << ": " << v->message;
+  }
+}
+
+// ---- targeted regressions for the bugs the fuzzer flushed out --------------
+
+TEST(FuzzRegression, LfanewPlusFourMustNotWrapUint32) {
+  // fuzz_corpus/lfanew_wrap.bin: e_lfanew = 0xFFFFFFFD made lfanew + 4 wrap
+  // to 1, passing the bound and reading the PE signature out of bounds.
+  ByteBuf bytes(64, 0);
+  util::write_le<std::uint16_t>(bytes.data(), 0x5A4D);
+  for (const std::uint32_t lfanew :
+       {0xFFFFFFFDu, 0xFFFFFFFCu, 0xFFFFFFFFu,
+        static_cast<std::uint32_t>(bytes.size() - 3)}) {
+    util::write_le<std::uint32_t>(bytes.data() + 0x3C, lfanew);
+    EXPECT_FALSE(pe::PeFile::looks_like_pe(bytes)) << lfanew;
+    EXPECT_THROW(pe::PeFile::parse(bytes), util::ParseError) << lfanew;
+  }
+}
+
+TEST(FuzzRegression, SectionRawBoundsMustNotWrapUint32) {
+  // fuzz_corpus/section_bounds_wrap.bin: raw_ptr + raw_size wrapped uint32
+  // (0xFFFFFF00 + 0x200 = 0x100), passing the bound and reading 0x200 bytes
+  // out of bounds.
+  pe::PeFile f;
+  f.add_section(".text", ByteBuf(64, 0x90),
+                pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute);
+  ByteBuf bytes = f.build();
+  const std::uint32_t lfanew = util::read_le<std::uint32_t>(bytes.data() + 0x3C);
+  const std::size_t sec = lfanew + 4 + 20 + 224;
+  util::write_le<std::uint32_t>(bytes.data() + sec + 16, 0x200u);      // raw_size
+  util::write_le<std::uint32_t>(bytes.data() + sec + 20, 0xFFFFFF00u); // raw_ptr
+  EXPECT_THROW(pe::PeFile::parse(bytes), util::ParseError);
+}
+
+TEST(FuzzRegression, ChecksumVerifiesFromRawBytes) {
+  // compute_checksum documents "checksum field treated as zero" but summed
+  // it as-is, so a freshly checksummed file never verified against itself.
+  util::Rng rng(11);
+  pe::PeFile f;
+  f.add_section(".text", rng.bytes(300),
+                pe::kScnCode | pe::kScnMemRead | pe::kScnMemExecute);
+  f.update_checksum();
+  ASSERT_NE(f.checksum, 0u);
+  const ByteBuf bytes = f.build();
+  EXPECT_EQ(pe::PeFile::compute_checksum(bytes), f.checksum);
+  EXPECT_EQ(pe::PeFile::parse(bytes).checksum, f.checksum);
+  // Still content-sensitive after the field is folded out.
+  pe::PeFile g = f;
+  g.sections[0].data[0] ^= 0xFF;
+  g.update_checksum();
+  EXPECT_NE(g.checksum, f.checksum);
+}
+
+TEST(FuzzRegression, StubOptionsAreValidatedUpFront) {
+  // fuzz_corpus/stub_gap_underflow.knobs: max_gap < min_gap underflowed the
+  // gap bound to ~2^64 and emitted a multi-GB section;
+  // fuzz_corpus/stub_zero_chunk.knobs: chunk_items == 0 is an invalid
+  // below() bound.
+  const core::RegionPlan region{0x401000, 8, 3};
+  const ByteBuf key(8, 1);
+  const ByteBuf filler(32, 0x90);
+
+  core::StubOptions bad_gap;
+  bad_gap.min_gap = 16;
+  bad_gap.max_gap = 4;
+  util::Rng rng(3);
+  EXPECT_THROW(core::build_recovery_section({&region, 1}, {&key, 1}, 0x405000,
+                                            0x401000, filler, bad_gap, rng),
+               std::invalid_argument);
+
+  core::StubOptions bad_chunk;
+  bad_chunk.chunk_items = 0;
+  EXPECT_THROW(core::build_recovery_section({&region, 1}, {&key, 1}, 0x405000,
+                                            0x401000, filler, bad_chunk, rng),
+               std::invalid_argument);
+
+  core::StubOptions ok;  // defaults are valid
+  EXPECT_NO_THROW(core::build_recovery_section({&region, 1}, {&key, 1},
+                                               0x405000, 0x401000, filler, ok,
+                                               rng));
+}
+
+TEST(FuzzRegression, OverlayDoesNotAbsorbAlignmentPaddingAfterLastSection) {
+  // fuzz_corpus/overlay_unaligned.bin: with SizeOfRawData patched below the
+  // alignment padding, the padding between section data and overlay leaked
+  // into overlay on reparse.
+  pe::PeFile f;
+  f.add_section(".data", ByteBuf(100, 0xAB),
+                pe::kScnInitializedData | pe::kScnMemRead);
+  f.overlay = util::to_bytes("overlay-tail");
+  ByteBuf bytes = f.build();
+  const std::uint32_t lfanew = util::read_le<std::uint32_t>(bytes.data() + 0x3C);
+  util::write_le<std::uint32_t>(bytes.data() + lfanew + 4 + 20 + 224 + 16,
+                                100u);
+  const pe::PeFile g = pe::PeFile::parse(bytes);
+  EXPECT_EQ(g.overlay, util::to_bytes("overlay-tail"));
+  ASSERT_EQ(g.sections.size(), 1u);
+  EXPECT_EQ(g.sections[0].data.size(), 100u);
+}
+
+TEST(FuzzRegression, OverlayDoesNotAbsorbHeaderPadding) {
+  // fuzz_corpus/overlay_hdrpad.bin: with no raw section data, raw_end used
+  // to stop at the unaligned section-table end, so the builder's header
+  // padding was absorbed into overlay and the file grew on every round trip.
+  pe::PeFile f;
+  pe::Section bss;
+  bss.name = ".bss";
+  bss.vaddr = f.next_free_rva();
+  bss.vsize = 0x400;
+  bss.characteristics =
+      pe::kScnUninitializedData | pe::kScnMemRead | pe::kScnMemWrite;
+  f.sections.push_back(std::move(bss));
+  f.overlay = util::to_bytes("OVERLAY!");
+
+  const ByteBuf b1 = f.build();
+  const pe::PeFile g = pe::PeFile::parse(b1);
+  EXPECT_EQ(g.overlay, f.overlay);
+  const ByteBuf b2 = g.build();
+  EXPECT_EQ(b1, b2);
+
+  // Section-less variant.
+  pe::PeFile h;
+  h.overlay = util::to_bytes("tail");
+  const ByteBuf c1 = h.build();
+  const pe::PeFile i = pe::PeFile::parse(c1);
+  EXPECT_EQ(i.overlay, h.overlay);
+  EXPECT_EQ(i.build(), c1);
+}
+
+TEST(FuzzRegression, RoundTripIsAFixpointWithNonEmptyOverlays) {
+  util::Rng rng(12);
+  for (int n = 0; n < 4; ++n) {
+    pe::PeFile f;
+    for (int s = 0; s <= n; ++s)
+      f.add_section("s" + std::to_string(s), rng.bytes(1 + rng.below(1500)),
+                    pe::kScnInitializedData | pe::kScnMemRead);
+    f.overlay = rng.bytes(1 + rng.below(2048));
+    const ByteBuf b1 = f.build();
+    const pe::PeFile g = pe::PeFile::parse(b1);
+    EXPECT_EQ(g.overlay, f.overlay) << n;
+    EXPECT_EQ(g.build(), b1) << n;
+  }
+}
+
+TEST(FuzzRegression, SizeOfImageStableWhenFileAlignExceedsSectionAlign) {
+  // fuzz_corpus/filealign_gt_sectalign.bin: with FileAlignment patched above
+  // SectionAlignment, a reparse reads the padded raw data back into the
+  // model, and SizeOfImage (sized from the unpadded bytes) grew on the second
+  // round trip -- build(parse(build(parse(x)))) was not a fixpoint.
+  pe::PeFile f;
+  f.add_section(".data", ByteBuf(512, 0xAB),
+                pe::kScnInitializedData | pe::kScnMemRead);
+  ByteBuf bytes = f.build();
+  const std::uint32_t lfanew = util::read_le<std::uint32_t>(bytes.data() + 0x3C);
+  util::write_le<std::uint32_t>(bytes.data() + lfanew + 4 + 20 + 36,
+                                0x8000u);  // FileAlignment
+  const ByteBuf b1 = pe::PeFile::parse(bytes).build();
+  const ByteBuf b2 = pe::PeFile::parse(b1).build();
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(FuzzRegression, SectionByRvaMustNotWrapUint32) {
+  // fuzz_corpus/vaddr_wrap.bin: a section at vaddr = 0xFFFFFFFF made
+  // vaddr + span wrap uint32 to a tiny end bound, so section_by_rva missed
+  // the section's own vaddr.
+  pe::PeFile f;
+  f.add_section(".data", ByteBuf(512, 0xAB),
+                pe::kScnInitializedData | pe::kScnMemRead);
+  f.sections[0].vaddr = 0xFFFFFFFFu;
+  const auto hit = f.section_by_rva(0xFFFFFFFFu);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+  EXPECT_FALSE(f.section_by_rva(0).has_value());
+}
+
+TEST(FuzzRegression, HostileImportCountMustNotAllocate) {
+  // fuzz_corpus/imports_count_overflow.bin: decode_imports reserved the
+  // 32-bit entry count before reading any payload, so count = 0xFFFFFFFF
+  // threw bad_alloc straight through read_imports' ParseError handler.
+  util::ByteWriter w;
+  w.u32(0x31504D49u);  // 'IMP1'
+  w.u32(0xFFFFFFFFu);
+  pe::PeFile f;
+  const std::size_t idx = f.add_section(
+      ".idata", w.take(), pe::kScnInitializedData | pe::kScnMemRead);
+  f.dirs[pe::kDirImport].rva = f.sections[idx].vaddr;
+  f.dirs[pe::kDirImport].size = 8;
+  EXPECT_TRUE(pe::read_imports(f).empty());  // tolerant, not bad_alloc
+  EXPECT_THROW(pe::decode_imports(f.sections[idx].data), util::ParseError);
+}
+
+// ---- the structure-aware fuzzer itself -------------------------------------
+
+TEST(Fuzzer, BoundedSweepFindsNoViolations) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = 42;
+  cfg.iterations = 400;
+  cfg.attack_every = 100;  // a few full attack+sandbox oracle runs
+  const fuzz::FuzzStats stats = fuzz::Fuzzer(cfg).run();
+  EXPECT_EQ(stats.iterations, 400u);
+  for (const fuzz::Finding& f : stats.findings)
+    ADD_FAILURE() << "iter " << f.iteration << " "
+                  << fuzz::kind_name(f.violation.kind) << ": "
+                  << f.violation.message;
+  // The mutators must exercise both parser outcomes.
+  EXPECT_GT(stats.parse_ok, 0u);
+  EXPECT_GT(stats.parse_rejected, 0u);
+  EXPECT_GT(stats.stub_checks, 0u);
+  EXPECT_GT(stats.attack_checks, 0u);
+}
+
+TEST(Fuzzer, IterationsAreDeterministic) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = 7;
+  const fuzz::Fuzzer a(cfg), b(cfg);
+  for (const std::size_t iter : {0u, 1u, 17u, 113u}) {
+    std::vector<std::string> ma, mb;
+    EXPECT_EQ(a.input_for_iteration(iter, &ma),
+              b.input_for_iteration(iter, &mb));
+    EXPECT_EQ(ma, mb);
+  }
+  // Distinct iterations produce distinct inputs (no stuck RNG stream).
+  EXPECT_NE(a.input_for_iteration(0), a.input_for_iteration(1));
+}
+
+TEST(Fuzzer, AttackOracleHoldsOnCorpusSample) {
+  const ByteBuf malware = corpus::make_malware(31007).bytes();
+  const ByteBuf donor = corpus::make_benign(31008).bytes();
+  const core::ModificationConfig cfg;
+  const auto v = fuzz::check_attack_preserves(malware, donor, cfg, 5);
+  EXPECT_FALSE(v.has_value())
+      << fuzz::kind_name(v->kind) << ": " << v->message;
+}
+
+TEST(Fuzzer, MinimizerShrinksAViolatingInput) {
+  // Build a synthetic violation: an input the oracle rejects for an
+  // unexpected exception cannot be fabricated without a bug, so instead
+  // check the minimizer contract on a clean input (returns it unchanged).
+  const ByteBuf clean = corpus::make_benign(31009).bytes();
+  EXPECT_EQ(fuzz::Fuzzer::minimize_input(clean), clean);
+}
+
+TEST(Fuzzer, StubKnobsRoundTripThroughTheTextFormat) {
+  core::StubOptions opts;
+  opts.shuffle = false;
+  opts.chunk_items = 3;
+  opts.min_gap = 7;
+  opts.max_gap = 21;
+  opts.lead_filler = 99;
+  const core::StubOptions back =
+      fuzz::parse_stub_knobs(fuzz::format_stub_knobs(opts));
+  EXPECT_EQ(back.shuffle, opts.shuffle);
+  EXPECT_EQ(back.chunk_items, opts.chunk_items);
+  EXPECT_EQ(back.min_gap, opts.min_gap);
+  EXPECT_EQ(back.max_gap, opts.max_gap);
+  EXPECT_EQ(back.lead_filler, opts.lead_filler);
+  EXPECT_THROW(fuzz::parse_stub_knobs("nonsense"), util::ParseError);
+}
+
+// ---- legacy robustness sweeps (blind mutation) -----------------------------
 
 class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
