@@ -7,6 +7,7 @@
 int main() {
   using namespace mpass;
   auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("ablation_budget");
   cfg.n_samples = std::min<std::size_t>(cfg.n_samples, 25);
   detect::ModelZoo& zoo = detect::ModelZoo::instance();
   const detect::Detector& target = zoo.offline_by_name("MalGCG");
@@ -23,6 +24,7 @@ int main() {
                             zoo.known_nets_excluding("MalGCG"));
     const harness::CellStats stats =
         harness::run_cell(atk, target, samples, samples, c);
+    report.add_cells({stats});
     table.row({std::to_string(budget), util::Table::num(stats.asr),
                util::Table::num(stats.avq)});
     std::fprintf(stderr, "[budget] %zu done\n", budget);

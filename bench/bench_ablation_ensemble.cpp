@@ -9,6 +9,7 @@
 int main() {
   using namespace mpass;
   auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("ablation_ensemble");
   cfg.n_samples = std::min<std::size_t>(cfg.n_samples, 25);
   detect::ModelZoo& zoo = detect::ModelZoo::instance();
   const detect::Detector& target = zoo.offline_by_name("MalConv");
@@ -33,6 +34,7 @@ int main() {
                             zoo.benign_pool(), v.nets);
     const harness::CellStats stats =
         harness::run_cell(atk, target, samples, samples, cfg);
+    report.add_cells({stats});
     table.row({v.name, util::Table::num(stats.asr),
                util::Table::num(stats.avq), util::Table::num(stats.functional)});
     std::fprintf(stderr, "[ensemble] %s done\n", v.name.c_str());

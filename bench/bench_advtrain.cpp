@@ -10,6 +10,7 @@
 int main() {
   using namespace mpass;
   auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("advtrain");
   cfg.n_samples = std::min<std::size_t>(cfg.n_samples, 30);  // 3 full runs
   detect::ModelZoo& zoo = detect::ModelZoo::instance();
 

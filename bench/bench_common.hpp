@@ -1,14 +1,21 @@
-// Shared table-rendering helpers for the per-table bench binaries.
+// Shared table-rendering helpers for the per-table bench binaries, plus the
+// machine-readable BENCH_<name>.json report every bench emits (BenchReport).
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 
@@ -102,6 +109,140 @@ inline void print_top_timers(std::size_t top_n = 8) {
                 rows[i].sum_ms,
                 rows[i].sum_ms / static_cast<double>(rows[i].count));
 }
+
+/// Machine-readable per-bench report. Construct at the top of main, feed it
+/// the grids the bench computed, and on destruction it writes
+/// BENCH_<name>.json (schema v1: wall_ms, per-cell CellStats, merged span
+/// profile, build metadata) to $MPASS_BENCH_DIR (created if needed) or the
+/// working directory, then flushes any MPASS_PROFILE trace. The schema is
+/// documented in docs/OBSERVABILITY.md and consumed by tools/mpass_prof
+/// (collect / compare) and scripts/run_all_benches.sh.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), t0_(std::chrono::steady_clock::now()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void add_cells(const std::vector<harness::CellStats>& cells) {
+    cells_.insert(cells_.end(), cells.begin(), cells.end());
+  }
+
+  ~BenchReport() {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0_)
+            .count();
+
+    std::string out;
+    out.reserve(1 << 14);
+    out += "{\"schema_version\":1,\"bench\":\"";
+    obs::json_escape(out, name_);
+    out += "\",\"wall_ms\":";
+    obs::json_number(out, wall_ms);
+
+    out += ",\"build\":{\"compiler\":\"";
+    obs::json_escape(out, __VERSION__);
+    out += "\",\"build_type\":\"";
+#ifdef NDEBUG
+    out += "Release";
+#else
+    out += "Debug";
+#endif
+    out += "\",\"threads\":";
+    obs::json_number(out,
+                     static_cast<double>(util::ThreadPool::instance().size()));
+    out += "}";
+
+    out += ",\"env\":{";
+    bool first_env = true;
+    for (const char* var : {"MPASS_N", "MPASS_MAX_QUERIES", "MPASS_THREADS",
+                            "MPASS_NO_CACHE", "MPASS_TRAIN_MAL"}) {
+      const char* v = std::getenv(var);
+      if (!v) continue;
+      if (!first_env) out += ',';
+      first_env = false;
+      out += '"';
+      obs::json_escape(out, var);
+      out += "\":\"";
+      obs::json_escape(out, v);
+      out += '"';
+    }
+    out += "}";
+
+    out += ",\"cells\":[";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const harness::CellStats& c = cells_[i];
+      if (i) out += ',';
+      out += "{\"attack\":\"";
+      obs::json_escape(out, c.attack);
+      out += "\",\"target\":\"";
+      obs::json_escape(out, c.target);
+      out += "\",\"n\":";
+      obs::json_number(out, static_cast<double>(c.n));
+      out += ",\"asr\":";
+      obs::json_number(out, c.asr);
+      out += ",\"avq\":";
+      obs::json_number(out, c.avq);
+      out += ",\"apr\":";
+      obs::json_number(out, c.apr);
+      out += ",\"functional\":";
+      obs::json_number(out, c.functional);
+      out += ",\"successes\":";
+      obs::json_number(out, static_cast<double>(c.successes));
+      out += ",\"total_queries\":";
+      obs::json_number(out, static_cast<double>(c.total_queries));
+      out += ",\"wall_ms\":";
+      obs::json_number(out, c.wall_ms);
+      out += ",\"qps\":";
+      obs::json_number(out, c.qps);
+      out += '}';
+    }
+    out += "]";
+
+    out += ",\"spans\":[";
+    const std::vector<obs::SpanRow> rows = obs::span_snapshot();
+    bool first_span = true;
+    for (const obs::SpanRow& r : rows) {
+      if (!first_span) out += ',';
+      first_span = false;
+      out += "{\"path\":\"";
+      obs::json_escape(out, r.path);
+      out += "\",\"count\":";
+      obs::json_number(out, static_cast<double>(r.count));
+      out += ",\"total_ms\":";
+      obs::json_number(out, static_cast<double>(r.total_ns) / 1e6);
+      out += ",\"self_ms\":";
+      obs::json_number(out, static_cast<double>(r.self_ns()) / 1e6);
+      out += ",\"child_ms\":";
+      obs::json_number(out, static_cast<double>(r.child_ns) / 1e6);
+      out += '}';
+    }
+    out += "]}";
+    out += '\n';
+
+    std::filesystem::path dir = ".";
+    if (const char* d = std::getenv("MPASS_BENCH_DIR"); d && *d) dir = d;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = dir / ("BENCH_" + name_ + ".json");
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (f) {
+      f.write(out.data(), static_cast<std::streamsize>(out.size()));
+      std::fprintf(stderr, "[bench] wrote %s\n", path.string().c_str());
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.string().c_str());
+    }
+
+    obs::flush_profile();
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<harness::CellStats> cells_;
+};
 
 /// Exports a grid to results/<key>.csv next to the cache dir.
 inline void export_results_csv(std::string_view key,

@@ -7,6 +7,7 @@
 
 int main() {
   using namespace mpass;
+  bench::BenchReport report("detectors");
   detect::ModelZoo& zoo = detect::ModelZoo::instance();
 
   util::Table table("Detector quality on the held-out test set");

@@ -5,7 +5,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("fig3_av_asr");
   const auto cells = harness::av_grid(cfg);
+  report.add_cells(cells);
   bench::print_grid(
       "Fig. 3: ASR (%) of attacking commercial ML AVs", cells,
       bench::av_targets(), bench::main_attacks(),

@@ -9,6 +9,7 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("fig4_av_learning");
   const auto tl = harness::av_learning_timeline(cfg);
 
   for (std::size_t v = 0; v < tl.avs.size(); ++v) {

@@ -6,7 +6,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("functionality");
   const auto cells = harness::offline_grid(cfg);
+  report.add_cells(cells);
   bench::print_grid(
       "Functionality-preserving rate (%) of successful AEs (sandbox check)",
       cells, bench::offline_targets(), bench::main_attacks(),

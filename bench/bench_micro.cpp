@@ -2,6 +2,8 @@
 // extraction, detector inference, emulator throughput, LZSS, Shapley.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "corpus/generator.hpp"
 #include "detectors/features.hpp"
 #include "detectors/models.hpp"
@@ -121,4 +123,15 @@ BENCHMARK(BM_ThreadPoolFanout)->Arg(1)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the process also emits BENCH_micro.json
+// (and flushes any MPASS_PROFILE trace) after the benchmarks run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    mpass::bench::BenchReport report("micro");
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace mpass;
+  bench::BenchReport report("pem_sections");
   auto& zoo = detect::ModelZoo::instance();
 
   // N randomly sampled malware (exact Shapley: few players per file).

@@ -5,7 +5,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("table1_asr");
   const auto cells = harness::offline_grid(cfg);
+  report.add_cells(cells);
   bench::print_grid(
       "Table I: ASR (%) of attacking offline models", cells,
       bench::offline_targets(), bench::main_attacks(),

@@ -5,7 +5,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("table3_apr");
   const auto cells = harness::offline_grid(cfg);
+  report.add_cells(cells);
   bench::print_grid(
       "Table III: APR (%) of attack methods on offline models", cells,
       bench::offline_targets(), bench::main_attacks(),

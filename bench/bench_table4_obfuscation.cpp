@@ -5,7 +5,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("table4_obfuscation");
   const auto cells = harness::obfuscation_grid(cfg);
+  report.add_cells(cells);
   const std::vector<std::string> attacks = {"UPX", "PESpin", "ASPack",
                                             "MPass"};
   // Paper Table IV is transposed (rows = methods); match that layout.

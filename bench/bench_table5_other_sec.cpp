@@ -6,7 +6,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("table5_other_sec");
   const auto cells = harness::other_sec_grid(cfg);
+  report.add_cells(cells);
   util::Table table(
       "Table V: Impact of changing modification positions, ASR (%) on AVs");
   table.header({"Method", "AV1", "AV2", "AV3", "AV4", "AV5"});

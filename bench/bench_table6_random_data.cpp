@@ -6,7 +6,9 @@
 int main() {
   using namespace mpass;
   const auto cfg = harness::ExperimentConfig::from_env();
+  bench::BenchReport report("table6_random_data");
   const auto cells = harness::random_data_grid(cfg);
+  report.add_cells(cells);
   util::Table table(
       "Table VI: Random data at MPass positions vs MPass, ASR (%) on AVs");
   table.header({"Method", "AV1", "AV2", "AV3", "AV4", "AV5"});

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mpass::core {
 

@@ -1,6 +1,6 @@
 #include "core/mpass.hpp"
 
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace mpass::core {

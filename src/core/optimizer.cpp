@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mpass::core {
 

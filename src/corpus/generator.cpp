@@ -6,7 +6,7 @@
 #include "corpus/codegen.hpp"
 #include "corpus/strings.hpp"
 #include "obs/log.hpp"
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/hashing.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"

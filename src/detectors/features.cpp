@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "isa/isa.hpp"
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
 #include "util/entropy.hpp"

@@ -4,7 +4,7 @@
 #include <thread>
 
 #include "obs/log.hpp"
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "pack/packer.hpp"
 #include "util/hashing.hpp"
 

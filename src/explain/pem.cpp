@@ -4,7 +4,7 @@
 #include <map>
 
 #include "obs/json.hpp"
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace mpass::explain {

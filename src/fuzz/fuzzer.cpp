@@ -6,6 +6,7 @@
 
 #include "corpus/generator.hpp"
 #include "fuzz/mutator.hpp"
+#include "obs/span.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
 #include "util/rng.hpp"
@@ -187,6 +188,7 @@ ByteBuf Fuzzer::input_for_iteration(std::size_t iter,
 }
 
 ByteBuf Fuzzer::minimize_input(const ByteBuf& input, std::size_t max_evals) {
+  OBS_SCOPE("fuzz.minimize");
   std::size_t evals = 0;
   const auto violates = [&](const ByteBuf& candidate) {
     ++evals;
@@ -234,6 +236,7 @@ ByteBuf Fuzzer::minimize_input(const ByteBuf& input, std::size_t max_evals) {
 }
 
 FuzzStats Fuzzer::run() {
+  OBS_SCOPE("fuzz.run");
   FuzzStats stats;
   const bool artifacts = !cfg_.out_dir.empty();
   if (artifacts) std::filesystem::create_directories(cfg_.out_dir);

@@ -1,5 +1,6 @@
 #include "fuzz/mutator.hpp"
 
+#include "obs/span.hpp"
 #include <algorithm>
 #include <iterator>
 #include <optional>
@@ -280,6 +281,7 @@ std::span<const Mutator> mutator_catalogue() { return kCatalogue; }
 
 std::vector<std::string_view> mutate(util::ByteBuf& bytes, util::Rng& rng,
                                      std::size_t rounds) {
+  OBS_SCOPE("fuzz.mutate");
   std::vector<std::string_view> applied;
   for (std::size_t i = 0; i < rounds; ++i) {
     // Re-map each round: earlier mutations may have moved/destroyed fields.

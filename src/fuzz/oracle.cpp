@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/span.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
 #include "util/rng.hpp"
@@ -45,6 +46,7 @@ std::string_view kind_name(ViolationKind kind) {
 
 std::vector<Violation> check_pe_invariants(
     std::span<const std::uint8_t> input) {
+  OBS_SCOPE("fuzz.oracle.pe");
   std::vector<Violation> out;
   const auto fail = [&](ViolationKind kind, std::string msg) {
     out.push_back({kind, std::move(msg)});
@@ -192,6 +194,7 @@ std::vector<Violation> check_pe_invariants(
 }
 
 std::optional<Violation> check_stub_options(const core::StubOptions& opts) {
+  OBS_SCOPE("fuzz.oracle.stub");
   const bool invalid = opts.chunk_items < 1 || opts.max_gap < opts.min_gap;
 
   const core::RegionPlan region{/*va=*/0x401000, /*len=*/16, /*prot=*/3};
@@ -225,6 +228,7 @@ std::optional<Violation> check_attack_preserves(
     std::span<const std::uint8_t> malware,
     std::span<const std::uint8_t> donor, const core::ModificationConfig& cfg,
     std::uint64_t seed) {
+  OBS_SCOPE("fuzz.oracle.attack");
   util::Rng rng(seed);
   core::ModifiedSample mod;
   try {

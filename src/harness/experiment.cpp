@@ -14,6 +14,7 @@
 #include "corpus/generator.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/hashing.hpp"
 #include "util/serialize.hpp"
@@ -191,6 +192,7 @@ CellStats run_cell(attack::Attack& atk, const detect::Detector& target,
                    std::span<const ByteBuf> samples,
                    std::span<const ByteBuf> originals_for_sandbox,
                    const ExperimentConfig& cfg, util::ThreadPool* pool) {
+  OBS_SCOPE("harness.run_cell");
   CellStats stats;
   stats.attack = std::string(atk.name());
   stats.target = std::string(target.name());

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mpass::ml {
 

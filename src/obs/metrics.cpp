@@ -339,10 +339,4 @@ std::span<const double> time_bounds() {
   return kBounds;
 }
 
-MetricId ScopedTimer::timer_id(std::string_view scope) {
-  std::string name = "time.";
-  name += scope;
-  return Registry::instance().histogram(name, time_bounds());
-}
-
 }  // namespace mpass::obs

@@ -20,10 +20,13 @@
 // Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase,
 // "<subsystem>.<what>[.<detail>]"; scoped-timer histograms are
 // "time.<scope>" with millisecond buckets.
+//
+// The OBS_SCOPE macro lives in obs/span.hpp: a scope is now a hierarchical
+// span (per-call-path accounting) that also feeds the flat "time.<scope>"
+// histogram here.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -123,43 +126,8 @@ class Histogram {
 };
 
 /// Default wall-time buckets for scoped timers, in milliseconds
-/// (exponential 10us .. 30s).
+/// (exponential 10us .. 30s). Span sites (obs/span.hpp) register their flat
+/// "time.<scope>" histograms with these bounds.
 std::span<const double> time_bounds();
-
-/// RAII wall-time observer feeding a "time.<scope>" histogram.
-class ScopedTimer {
- public:
-  explicit ScopedTimer(MetricId id) noexcept
-      : id_(id), t0_(std::chrono::steady_clock::now()) {}
-  ~ScopedTimer() {
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0_)
-                          .count();
-    Registry::instance().observe(id_, ms);
-  }
-  ScopedTimer(const ScopedTimer&) = delete;
-  ScopedTimer& operator=(const ScopedTimer&) = delete;
-
-  /// Registers "time.<scope>" with the default time buckets (cached by the
-  /// OBS_SCOPE macro in a function-local static).
-  static MetricId timer_id(std::string_view scope);
-
- private:
-  MetricId id_;
-  std::chrono::steady_clock::time_point t0_;
-};
-
-#define MPASS_OBS_CONCAT2(a, b) a##b
-#define MPASS_OBS_CONCAT(a, b) MPASS_OBS_CONCAT2(a, b)
-
-/// Times the enclosing scope into the "time.<name>" histogram. One-time
-/// registration cost per call site; two clock reads per execution.
-#define OBS_SCOPE(name)                                          \
-  static const ::mpass::obs::MetricId MPASS_OBS_CONCAT(          \
-      obs_scope_id_, __LINE__) =                                 \
-      ::mpass::obs::ScopedTimer::timer_id(name);                 \
-  ::mpass::obs::ScopedTimer MPASS_OBS_CONCAT(obs_scope_timer_,   \
-                                             __LINE__)(          \
-      MPASS_OBS_CONCAT(obs_scope_id_, __LINE__))
 
 }  // namespace mpass::obs

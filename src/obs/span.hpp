@@ -1,0 +1,153 @@
+// Hierarchical span profiler layered on the metrics registry.
+//
+// Every OBS_SCOPE site is a *span*: a node in the calling thread's call-path
+// tree. Where the flat "time.<scope>" histograms answer "how long does
+// pe.parse take?", spans answer "how much of harness.run_cell's time is
+// pe.parse, and how much is its own?" -- total time and self time are
+// accumulated per *call path* (e.g. "harness.run_cell/pool.task/
+// attack.mpass.run/pe.parse"), not per site.
+//
+// Design (mirrors obs::Metrics):
+//   * Sites and call paths are interned once under a core mutex; the hot
+//     path caches (parent path, site) -> path in a thread-local map, so a
+//     warm push/pop is a couple of clock reads plus relaxed atomic adds on
+//     slots only the calling thread writes.
+//   * Each path owns three shard slots: count, total_ns, and child_ns (the
+//     summed totals of its direct child frames). Self time is derived at
+//     merge time as total - child, which keeps the accounting exact by
+//     construction: merged self + merged child == merged total, and for
+//     non-recursive trees child_ns equals the sum of the children's totals.
+//   * Direct recursion collapses onto the parent path (a site nested under
+//     itself reuses the parent's node), so recursive scopes cannot grow the
+//     path table without bound.
+//   * span_snapshot() merges all live shards plus the totals retired by
+//     exited threads; the merged view depends only on the spans completed,
+//     never on which thread ran them. Open (un-popped) spans are invisible
+//     to snapshots until they close -- a drained process has no orphans.
+//
+// Cross-thread propagation: util::ThreadPool captures a SpanHandoff at
+// submit() and opens a SpanTaskScope ("pool.task" span, parented under the
+// *submitting* call path) around the task body, so a worker executing a
+// stolen task records under the span that submitted it. With profiling on,
+// the handoff also carries a flow id linking submit to execution with a
+// Chrome flow arrow.
+//
+// Profiling sink: MPASS_PROFILE=<file> records one Chrome trace-event
+// "complete" event per span pop (plus flow arrows and thread names) and
+// writes Perfetto-loadable JSON at flush_profile() / process exit. With the
+// variable unset, no events are recorded and the only cost over the old
+// flat timers is the span-stack bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mpass::obs {
+
+using SpanSiteId = std::uint32_t;
+
+/// Interns a span site name and registers the matching flat "time.<name>"
+/// histogram (the OBS_SCOPE macro caches the id in a function-local static).
+SpanSiteId span_site(std::string_view name);
+
+/// RAII span: pushes the site onto the calling thread's span stack; the
+/// destructor pops it, accumulating (count, total, child) for the call path
+/// and observing the flat "time.<name>" histogram.
+class Span {
+ public:
+  explicit Span(SpanSiteId site) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#define MPASS_OBS_CONCAT2(a, b) a##b
+#define MPASS_OBS_CONCAT(a, b) MPASS_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope as a hierarchical span (and into the flat
+/// "time.<name>" histogram). One-time registration per call site.
+#define OBS_SCOPE(name)                                              \
+  static const ::mpass::obs::SpanSiteId MPASS_OBS_CONCAT(            \
+      obs_scope_site_, __LINE__) = ::mpass::obs::span_site(name);    \
+  const ::mpass::obs::Span MPASS_OBS_CONCAT(obs_scope_span_,         \
+                                            __LINE__)(               \
+      MPASS_OBS_CONCAT(obs_scope_site_, __LINE__))
+
+// ---- snapshots --------------------------------------------------------------
+
+/// Merged per-call-path statistics. self_ns() is exact by construction:
+/// total_ns - child_ns, where child_ns sums the totals of direct child
+/// frames (negative only for paths whose async children outlive them).
+struct SpanRow {
+  std::string path;  // site names joined with '/', e.g. "a/b/c"
+  std::uint32_t depth = 0;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t child_ns = 0;
+  std::int64_t self_ns() const {
+    return static_cast<std::int64_t>(total_ns) -
+           static_cast<std::int64_t>(child_ns);
+  }
+};
+
+/// Deterministic merged view of every completed span, sorted by path.
+std::vector<SpanRow> span_snapshot();
+
+/// {"schema_version":1,"spans":[{"path","count","total_ms","self_ms",
+/// "child_ms"},...]} -- the schema tools/mpass_prof and BENCH_*.json embed.
+std::string spans_to_json(const std::vector<SpanRow>& rows);
+
+// ---- cross-thread handoff (used by util::ThreadPool) ------------------------
+
+/// Captured submitting context: the submitter's current call path and, when
+/// profiling, a flow id for the Chrome flow arrow.
+struct SpanHandoff {
+  std::uint32_t path = 0;  // 0 = root (submitter was outside any span)
+  std::uint64_t flow = 0;  // 0 = no flow event recorded
+  bool engaged() const { return path != 0 || flow != 0; }
+};
+
+/// Captures the calling thread's handoff context and, when profiling,
+/// records the flow-start event. Cheap no-op ({0,0}) when the caller is
+/// outside any span and profiling is off.
+SpanHandoff span_handoff_capture();
+
+/// Opens a "pool.task" span parented under the handoff's path on the
+/// executing thread (which may differ from the submitter), and records the
+/// flow-finish event. Inactive for a disengaged handoff.
+class SpanTaskScope {
+ public:
+  explicit SpanTaskScope(const SpanHandoff& h) noexcept;
+  ~SpanTaskScope();
+  SpanTaskScope(const SpanTaskScope&) = delete;
+  SpanTaskScope& operator=(const SpanTaskScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+// ---- Chrome trace-event sink ------------------------------------------------
+
+/// True iff span pops are being recorded as Chrome trace events.
+bool profiling() noexcept;
+
+/// Test/CLI override of the profile output file. nullopt disables
+/// profiling; an empty path restores the MPASS_PROFILE environment value.
+void set_profile_path(std::optional<std::filesystem::path> path);
+
+/// Writes every event recorded so far as Chrome trace-event JSON to the
+/// profile path (whole-file rewrite; safe to call more than once). Also
+/// invoked at process exit once profiling was ever enabled. No-op when
+/// profiling is off.
+void flush_profile();
+
+/// Names the calling thread in profile output ("pool-worker-3", ...).
+void set_thread_name(std::string_view name);
+
+}  // namespace mpass::obs

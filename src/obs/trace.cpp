@@ -8,6 +8,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mpass::obs {
 
@@ -176,11 +177,17 @@ void append_run_line(std::string_view file, std::string line) {
 void write_metrics_snapshot() {
   const std::filesystem::path* dir = trace_dir();
   if (!dir) return;
-  const std::string json = Registry::instance().snapshot().to_json();
   std::error_code ec;
   std::filesystem::create_directories(*dir, ec);
+  const std::string json = Registry::instance().snapshot().to_json();
   std::ofstream out(*dir / "metrics.json", std::ios::binary | std::ios::trunc);
   if (out) out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  // Call-path view of the same run, consumed by `mpass_prof top/tree/export`
+  // and the `mpass_trace summary --spans` section.
+  const std::string spans = spans_to_json(span_snapshot());
+  std::ofstream sout(*dir / "spans.json", std::ios::binary | std::ios::trunc);
+  if (sout)
+    sout.write(spans.data(), static_cast<std::streamsize>(spans.size()));
 }
 
 }  // namespace mpass::obs

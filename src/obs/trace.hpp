@@ -87,8 +87,9 @@ class Event {
 /// trace directory; serialized by a global mutex. No-op when disabled.
 void append_run_line(std::string_view file, std::string line);
 
-/// Writes the current metrics snapshot to <trace dir>/metrics.json.
-/// No-op when disabled.
+/// Writes the current metrics snapshot to <trace dir>/metrics.json and the
+/// current span snapshot (call-path profile, obs/span.hpp) to
+/// <trace dir>/spans.json. No-op when disabled.
 void write_metrics_snapshot();
 
 }  // namespace mpass::obs

@@ -1,8 +1,10 @@
 #include "util/threadpool.hpp"
 
 #include <cstdlib>
+#include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace mpass::util {
 
@@ -73,6 +75,17 @@ std::size_t ThreadPool::env_threads() {
 }
 
 void ThreadPool::push(std::function<void()> task) {
+  // Span propagation: a task records under the *submitting* call path (a
+  // "pool.task" child span), no matter which worker steals it; with
+  // MPASS_PROFILE set the handoff carries a flow id so the submit and the
+  // execution are linked by a Chrome flow arrow. Disengaged (outside any
+  // span, profiling off) the task runs unwrapped.
+  if (const obs::SpanHandoff h = obs::span_handoff_capture(); h.engaged()) {
+    task = [h, inner = std::move(task)] {
+      obs::SpanTaskScope span_scope(h);
+      inner();
+    };
+  }
   const std::size_t qi =
       (tl_pool == this) ? tl_queue : 0;  // worker deque or injector
   {
@@ -136,6 +149,7 @@ bool ThreadPool::run_one() {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_pool = this;
   tl_queue = 1 + index;
+  obs::set_thread_name("pool-worker-" + std::to_string(index));
   std::function<void()> task;
   for (;;) {
     if (try_pop(tl_queue, task)) {

@@ -19,7 +19,11 @@
 // / .injector / .steal) go through the obs::Registry; the shared instance()
 // pool also exports a pool.pending queue-depth gauge. The conservation
 // invariant submits == sum(pops) after a drain is tested in
-// test_threadpool.cpp.
+// test_threadpool.cpp. Span context (obs/span.hpp) propagates across
+// submit(): each task executes under a "pool.task" span parented at the
+// submitting call path -- so stolen tasks profile under their submitter --
+// and, with MPASS_PROFILE set, submit and execution are linked by Chrome
+// flow arrows.
 #pragma once
 
 #include <atomic>

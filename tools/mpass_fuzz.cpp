@@ -20,6 +20,8 @@
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/mutator.hpp"
 #include "fuzz/oracle.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "pe/pe.hpp"
 #include "util/bytes.hpp"
 #include "util/serialize.hpp"
@@ -71,7 +73,12 @@ int cmd_run(int argc, char** argv) {
   if (const char* out = opt(argc, argv, "--out")) cfg.out_dir = out;
 
   fuzz::Fuzzer fuzzer(cfg);
-  const fuzz::FuzzStats stats = fuzzer.run();
+  const fuzz::FuzzStats stats = [&] {
+    OBS_SCOPE("fuzz.campaign");
+    return fuzzer.run();
+  }();
+  obs::write_metrics_snapshot();
+  obs::flush_profile();
   std::printf(
       "fuzz: %zu iterations (seed %llu): parse ok %zu / rejected %zu, "
       "%zu stub checks, %zu attack checks, %zu violation(s)\n",
