@@ -30,9 +30,8 @@ Gamma::Gamma(GammaConfig cfg, std::span<const ByteBuf> benign_pool)
   if (pad_source_.empty()) pad_source_.assign(4096, 0);
 }
 
-ByteBuf Gamma::express(std::span<const std::uint8_t> malware,
-                       const Genome& g) const {
-  pe::PeFile pe = pe::PeFile::parse(malware);
+ByteBuf Gamma::express(const pe::PeFile& base, const Genome& g) const {
+  pe::PeFile pe = base;  // copy: add_section/overlay mutate the layout
   for (std::size_t i = 0; i < library_.size() && i < g.use.size(); ++i) {
     if (!g.use[i] || pe.sections.size() >= 28) continue;
     pe.add_section(library_[i].name, library_[i].data,
@@ -48,6 +47,18 @@ AttackResult Gamma::run(std::span<const std::uint8_t> malware,
   util::Rng rng(seed);
   AttackResult result;
   result.adversarial.assign(malware.begin(), malware.end());
+
+  // Parse the base malware once; every genome expression copies the parsed
+  // structure instead of re-parsing the same bytes per query.
+  pe::PeFile base;
+  try {
+    base = pe::PeFile::parse(malware);
+  } catch (const util::ParseError&) {
+    // Unparseable input: no genome could ever be expressed, so spend no
+    // queries (the old per-express parse failed identically every time).
+    result.apr = apr_of(malware.size(), result.adversarial.size());
+    return result;
+  }
 
   auto random_genome = [&] {
     Genome g;
@@ -66,7 +77,7 @@ AttackResult Gamma::run(std::span<const std::uint8_t> malware,
   auto evaluate = [&](const Genome& g) -> Scored {
     ByteBuf sample;
     try {
-      sample = express(malware, g);
+      sample = express(base, g);
     } catch (const util::ParseError&) {
       return {g, false, static_cast<std::size_t>(-1)};
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "attack/attack.hpp"
+#include "pe/pe.hpp"
 #include "util/rng.hpp"
 
 namespace mpass::attack {
@@ -41,8 +42,10 @@ class Gamma : public Attack {
     std::uint32_t overlay_pad;  // extra benign overlay bytes
   };
 
-  util::ByteBuf express(std::span<const std::uint8_t> malware,
-                        const Genome& g) const;
+  /// Builds the genome's phenotype from the pre-parsed base PE (parsed once
+  /// per run(); every genome evaluation used to re-parse the same malware,
+  /// which dominated per-query cost once scoring went incremental).
+  util::ByteBuf express(const pe::PeFile& base, const Genome& g) const;
 
   GammaConfig cfg_;
   struct LibSection {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace mpass::attack {
 
 using util::ByteBuf;
@@ -50,6 +52,15 @@ AttackResult Mab::run(std::span<const std::uint8_t> malware,
       }
       current = std::move(*mutated);
       pulled.push_back(a);
+      if (obs::tracing())
+        obs::Event("action")
+            .str("kind", "mab_pull")
+            .str("arm", action_name(static_cast<Action>(a)))
+            .uint("pull", static_cast<std::uint64_t>(pull))
+            .uint("size", current.size());
+      // Each pull mutates the working copy in place (append/rename-style
+      // edits), so the detector's incremental forward re-scores only the
+      // touched windows of `current` against its cached previous query.
       const bool detected = oracle.query(current);
       if (detected) {
         beta_[a] += 1.0;

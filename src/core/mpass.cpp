@@ -100,7 +100,10 @@ MpassResult Mpass::run(std::span<const std::uint8_t> malware,
     // Burn-in optimization before spending the first query (paper workflow:
     // optimize on the ensemble, then query). Queries are the scarce
     // resource: keep optimizing until the ensemble consensus is benign
-    // enough or the local budget runs out.
+    // enough or the local budget runs out. Both the gate's ensemble_score
+    // and each step's line search ride the nets' incremental forward: only
+    // the bytes the previous step touched get re-convolved, and the oracle
+    // query below diffs against the same cache (see ml/byteconv.hpp).
     if (can_optimize) {
       for (int s = 0; s < cfg_.opt_steps_per_query; ++s)
         trace_opt(opt->step(mod));

@@ -1,14 +1,26 @@
 #include "core/optimizer.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/span.hpp"
 
 namespace mpass::core {
 
+namespace {
+bool incremental_default() {
+  static const bool off = [] {
+    const char* v = std::getenv("MPASS_NO_INCREMENTAL");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return !off;
+}
+}  // namespace
+
 EnsembleOptimizer::EnsembleOptimizer(std::vector<ml::ByteConvNet*> known)
-    : known_(std::move(known)) {
+    : known_(std::move(known)), incremental_(incremental_default()) {
   if (known_.empty())
     throw std::invalid_argument("optimizer: empty known-model ensemble");
 }
@@ -16,7 +28,10 @@ EnsembleOptimizer::EnsembleOptimizer(std::vector<ml::ByteConvNet*> known)
 float EnsembleOptimizer::ensemble_score(
     std::span<const std::uint8_t> bytes) const {
   float s = 0.0f;
-  for (ml::ByteConvNet* net : known_) s += net->forward(bytes);
+  // forward_auto: between optimizer steps and oracle queries the sample is
+  // unchanged or changed in a few windows, so the nets' cached activations
+  // make these consensus checks (near-)free. Bitwise equal to forward().
+  for (ml::ByteConvNet* net : known_) s += net->forward_auto(bytes);
   return s / static_cast<float>(known_.size());
 }
 
@@ -24,7 +39,16 @@ float EnsembleOptimizer::ensemble_loss(
     std::span<const std::uint8_t> bytes) const {
   float s = 0.0f;
   for (ml::ByteConvNet* net : known_)
-    s += ml::bce_loss(net->forward(bytes), 0.0f);
+    s += ml::bce_loss(net->forward_auto(bytes), 0.0f);
+  return s / static_cast<float>(known_.size());
+}
+
+float EnsembleOptimizer::ensemble_loss_delta(
+    std::span<const std::uint8_t> bytes,
+    std::span<const ml::ByteRange> dirty) const {
+  float s = 0.0f;
+  for (ml::ByteConvNet* net : known_)
+    s += ml::bce_loss(net->forward_delta(bytes, dirty), 0.0f);
   return s / static_cast<float>(known_.size());
 }
 
@@ -37,7 +61,11 @@ float EnsembleOptimizer::step(ModifiedSample& sample) const {
   std::vector<std::size_t> consumed(m);
   float total_loss = 0.0f;
   for (std::size_t i = 0; i < m; ++i) {
-    known_[i]->forward(sample.bytes);
+    // forward_auto: after the previous step's rollback the cache already
+    // matches the kept prefix, so this forward is a (often empty) delta;
+    // the activation caches it leaves behind are bitwise identical to a
+    // full forward's, which is what backward consumes.
+    known_[i]->forward_auto(sample.bytes);
     total_loss += known_[i]->backward(/*target=*/0.0f, &grads[i],
                                       /*accumulate_params=*/false,
                                       /*soft_pool_tau=*/0.5f);
@@ -147,17 +175,58 @@ float EnsembleOptimizer::step(ModifiedSample& sample) const {
   std::sort(updates.begin(), updates.end(),
             [](const Update& a, const Update& b) { return a.gain > b.gain; });
   const float base_loss = total_loss / static_cast<float>(m);
+
+#ifndef NDEBUG
+  // set_byte also rewrites the coupled key byte, so a rollback is only
+  // exact if restoring old_value restores the key too. Snapshot both the
+  // update position and its key before anything is applied; after the
+  // rollback every update beyond the kept prefix must match.
+  struct PreByte {
+    std::uint32_t pos;
+    std::uint8_t val;
+    bool has_key;
+    std::uint32_t key_pos;
+    std::uint8_t key_val;
+  };
+  std::vector<PreByte> pre_step;
+  pre_step.reserve(updates.size());
+  for (const Update& u : updates) {
+    PreByte pb{u.pos, sample.bytes[u.pos], false, 0, 0};
+    const auto it = sample.key_of.find(u.pos);
+    if (it != sample.key_of.end()) {
+      pb.has_key = true;
+      pb.key_pos = it->second;
+      pb.key_val = sample.bytes[it->second];
+    }
+    pre_step.push_back(pb);
+  }
+#endif
+
   float best_loss = base_loss;
   std::size_t best_prefix = 0;
   std::size_t applied = 0;
+  // Dirty windows accumulated since the nets last scored the sample: each
+  // update touches its own byte plus (through set_byte) its coupled key.
+  std::vector<ml::ByteRange> dirty;
+  const auto mark_dirty = [&](std::uint32_t pos) {
+    dirty.push_back({pos, pos + 1});
+    const auto it = sample.key_of.find(pos);
+    if (it != sample.key_of.end())
+      dirty.push_back({it->second, it->second + 1});
+  };
   for (double frac : {0.125, 0.25, 0.5, 1.0}) {
     const std::size_t want = std::max<std::size_t>(
         1, static_cast<std::size_t>(frac * static_cast<double>(updates.size())));
     while (applied < want && applied < updates.size()) {
       sample.set_byte(updates[applied].pos, updates[applied].value);
+      if (incremental_) mark_dirty(updates[applied].pos);
       ++applied;
     }
-    const float loss = ensemble_loss(sample.bytes);
+    // The prefixes are nested, so each evaluation only needs to declare
+    // the updates applied since the previous one.
+    const float loss = incremental_ ? ensemble_loss_delta(sample.bytes, dirty)
+                                    : ensemble_loss(sample.bytes);
+    dirty.clear();
     if (loss < best_loss) {
       best_loss = loss;
       best_prefix = applied;
@@ -166,15 +235,42 @@ float EnsembleOptimizer::step(ModifiedSample& sample) const {
   // No prefix improved the true loss: keep a small exploratory prefix
   // anyway (the recomputed gradient escapes the tie next step) instead of
   // deadlocking on an identical rejected proposal.
-  if (best_prefix == 0)
-    best_prefix = std::min<std::size_t>(updates.size(), 32);
+  const bool exploratory = best_prefix == 0;
+  if (exploratory) best_prefix = std::min<std::size_t>(updates.size(), 32);
 
   // Roll back to the best prefix (set_byte restores key coupling exactly).
   while (applied > best_prefix) {
     --applied;
     sample.set_byte(updates[applied].pos, updates[applied].old_value);
+    if (incremental_) mark_dirty(updates[applied].pos);
   }
-  return best_prefix == 0 ? base_loss : best_loss;
+
+#ifndef NDEBUG
+  for (std::size_t i = best_prefix; i < updates.size(); ++i) {
+    assert(sample.bytes[pre_step[i].pos] == pre_step[i].val &&
+           "rollback must restore the update byte exactly");
+    assert((!pre_step[i].has_key ||
+            sample.bytes[pre_step[i].key_pos] == pre_step[i].key_val) &&
+           "rollback must restore the coupled key byte exactly");
+  }
+#endif
+
+  if (incremental_) {
+    // Re-sync the nets' caches with the kept prefix (free when nothing was
+    // rolled back). For a normal step this re-derives exactly the loss the
+    // line search measured -- a cheap end-to-end check of both the rollback
+    // and the delta path -- and for an exploratory step it is the honest
+    // loss of the state actually kept (which may exceed base_loss).
+    const float kept_loss = ensemble_loss_delta(sample.bytes, dirty);
+    assert((exploratory || kept_loss == best_loss) &&
+           "incremental re-score must match the line-search loss");
+    return exploratory ? kept_loss : best_loss;
+  }
+  // Non-incremental exploratory fallback: the stored best_loss is the
+  // base loss of a state the sample is no longer in; recompute for the
+  // prefix actually kept instead of reporting it stale.
+  if (exploratory) return ensemble_loss(sample.bytes);
+  return best_loss;
 }
 
 }  // namespace mpass::core

@@ -22,9 +22,17 @@ class EnsembleOptimizer {
   explicit EnsembleOptimizer(std::vector<ml::ByteConvNet*> known);
 
   /// One optimization step: computes the ensemble gradient, greedily
-  /// re-selects bytes, and line-searches over update fractions so the
-  /// true (non-linearized) ensemble loss never increases.
-  /// Returns the mean ensemble BCE loss toward benign *after* the update.
+  /// re-selects bytes, and line-searches over update fractions, keeping
+  /// the best-scoring prefix under the true (non-linearized) ensemble
+  /// loss. When no prefix improves, a small exploratory prefix is kept
+  /// anyway (so the next step's gradient escapes the tie), and the loss
+  /// may then increase. Returns the mean ensemble BCE loss toward benign
+  /// for the exact sample state left behind.
+  ///
+  /// The line search evaluates nested prefixes: each candidate differs
+  /// from the previous one only in the updates applied in between, so
+  /// with incremental scoring enabled (default) every evaluation is a
+  /// forward_delta over those dirty windows instead of a full forward.
   float step(ModifiedSample& sample) const;
 
   /// Mean ensemble probability of `bytes` being malicious.
@@ -33,8 +41,20 @@ class EnsembleOptimizer {
   /// Mean ensemble BCE loss toward the benign label.
   float ensemble_loss(std::span<const std::uint8_t> bytes) const;
 
+  /// ensemble_loss via each net's incremental forward: `dirty` must cover
+  /// every byte that changed since the net last scored this sample.
+  float ensemble_loss_delta(std::span<const std::uint8_t> bytes,
+                            std::span<const ml::ByteRange> dirty) const;
+
+  /// Disables/enables incremental line-search scoring (default: on unless
+  /// MPASS_NO_INCREMENTAL=1). Results are bit-identical either way; the
+  /// escape hatch exists for debugging and differential tests.
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
  private:
   std::vector<ml::ByteConvNet*> known_;
+  bool incremental_;
 };
 
 }  // namespace mpass::core

@@ -301,6 +301,13 @@ FuzzStats Fuzzer::run() {
       ++stats.attack_checks;
       if (auto v = check_attack_preserves(seeds_[0], seeds_[1], cfg, krng()))
         record(iter, std::move(*v), {"attack_knobs"}, {}, ".bin");
+
+      // Incremental-forward differential: the mutated input of this
+      // iteration doubles as the scored buffer, so structural mutators feed
+      // the net shapes the attacks actually produce.
+      ++stats.incremental_checks;
+      if (auto v = check_incremental_forward(input, krng()))
+        record(iter, std::move(*v), mutators, input, ".bin");
     }
 
     ++stats.iterations;

@@ -46,6 +46,7 @@ struct FuzzStats {
   std::size_t parse_rejected = 0; // clean ParseError rejections
   std::size_t stub_checks = 0;
   std::size_t attack_checks = 0;
+  std::size_t incremental_checks = 0;  // ByteConvNet differential runs
   std::vector<Finding> findings;
 
   bool clean() const { return findings.empty(); }

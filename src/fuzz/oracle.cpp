@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "ml/byteconv.hpp"
 #include "obs/span.hpp"
 #include "pe/import.hpp"
 #include "pe/pe.hpp"
@@ -40,6 +41,8 @@ std::string_view kind_name(ViolationKind kind) {
     case ViolationKind::StubOptionsNotRejected: return "stub_options_not_rejected";
     case ViolationKind::StubBuildFailed: return "stub_build_failed";
     case ViolationKind::FunctionalityBroken: return "functionality_broken";
+    case ViolationKind::IncrementalScoreMismatch:
+      return "incremental_score_mismatch";
   }
   return "unknown";
 }
@@ -258,6 +261,90 @@ std::optional<Violation> check_attack_preserves(
       return Violation{ViolationKind::FunctionalityBroken,
                        "perturbing optimizable bytes changed the trace"};
   }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_incremental_forward(
+    std::span<const std::uint8_t> input, std::uint64_t seed) {
+  OBS_SCOPE("fuzz.oracle.incremental");
+  util::Rng rng(seed);
+
+  // Small net so the full-forward reference stays cheap; the seed picks the
+  // architecture variant so gated, relu and channel-gated (MalGCG) pool
+  // repair paths all get fuzzed over time.
+  ml::ByteConvConfig cfg;
+  cfg.max_len = 2048;
+  cfg.embed_dim = 4;
+  cfg.filters = 8;
+  cfg.width = 16;
+  cfg.stride = 8;
+  cfg.hidden = 8;
+  cfg.channel_gating = (seed & 1) != 0;
+  cfg.gated = cfg.channel_gating || ((seed >> 1) & 1) != 0;
+
+  ml::ByteConvNet inc(cfg, seed);
+  ml::ByteConvNet ref(inc);  // identical parameters, independent caches
+  inc.set_incremental(true);
+  ref.set_incremental(false);
+
+  const auto mismatch = [&](std::string_view where, float got, float want) {
+    return Violation{
+        ViolationKind::IncrementalScoreMismatch,
+        std::string(where) + ": incremental=" + std::to_string(got) +
+            " full=" + std::to_string(want) +
+            (cfg.channel_gating ? " [channel_gating]"
+                                : (cfg.gated ? " [gated]" : " [relu]"))};
+  };
+
+  ByteBuf buf(input.begin(), input.end());
+  if (buf.empty()) {
+    buf.resize(64);
+    for (auto& x : buf) x = rng.byte();
+  }
+  if (inc.forward_auto(buf) != ref.forward(buf))
+    return mismatch("base", inc.forward_auto(buf), ref.forward(buf));
+
+  // Cumulative random window edits; some straddle the max_len truncation
+  // boundary or fall entirely past it (must be no-ops on the score).
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t pos = rng.below(buf.size());
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.below(64), buf.size() - pos);
+    for (std::size_t j = 0; j < len; ++j) buf[pos + j] = rng.byte();
+    const ml::ByteRange dirty{pos, pos + len};
+    const float d = inc.forward_delta(buf, {&dirty, 1});
+    const float f = ref.forward(buf);
+    if (d != f) return mismatch("forward_delta edit " + std::to_string(i), d, f);
+    const float a = inc.forward_auto(buf);
+    if (a != f) return mismatch("forward_auto edit " + std::to_string(i), a, f);
+  }
+
+  // Batched independent candidates against one cached baseline.
+  std::vector<ByteBuf> payloads(8);
+  std::vector<ml::ByteEdit> edits;
+  edits.reserve(payloads.size());
+  for (ByteBuf& p : payloads) {
+    p.resize(1 + rng.below(48));
+    for (auto& x : p) x = rng.byte();
+    edits.push_back({rng.below(buf.size()), p});
+  }
+  const std::vector<float> batched = inc.score_deltas(buf, edits);
+  for (std::size_t i = 0; i < edits.size(); ++i) {
+    ByteBuf variant = buf;
+    const std::size_t lo = std::min(edits[i].offset, variant.size());
+    const std::size_t hi =
+        std::min(edits[i].offset + edits[i].bytes.size(), variant.size());
+    std::copy(edits[i].bytes.begin(),
+              edits[i].bytes.begin() + static_cast<std::ptrdiff_t>(hi - lo),
+              variant.begin() + static_cast<std::ptrdiff_t>(lo));
+    const float f = ref.forward(variant);
+    if (batched[i] != f)
+      return mismatch("score_deltas[" + std::to_string(i) + "]", batched[i], f);
+  }
+  // score_deltas must leave the cache corresponding to the unedited base.
+  if (inc.forward_auto(buf) != ref.forward(buf))
+    return mismatch("post-batch base", inc.forward_auto(buf), ref.forward(buf));
+
   return std::nullopt;
 }
 

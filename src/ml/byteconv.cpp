@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/bytes.hpp"
 
 namespace mpass::ml {
 
@@ -14,6 +17,39 @@ constexpr int kPad = 256;
 inline float sigmoidf(float x) {
   return 1.0f / (1.0f + std::exp(-x));
 }
+
+bool incremental_default() {
+  static const bool off = [] {
+    const char* v = std::getenv("MPASS_NO_INCREMENTAL");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return !off;
+}
+
+/// Clamps `ranges` to [0, n), drops empties, and coalesces sorted/nearby
+/// ranges (gap <= width) so overlapping timestep windows are visited once.
+std::vector<ByteRange> normalize_ranges(std::span<const ByteRange> ranges,
+                                        std::size_t n, std::size_t width) {
+  std::vector<ByteRange> out;
+  out.reserve(ranges.size());
+  for (const ByteRange& r : ranges) {
+    const std::size_t lo = std::min(r.lo, n);
+    const std::size_t hi = std::min(r.hi, n);
+    if (lo < hi) out.push_back({lo, hi});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ByteRange& a, const ByteRange& b) { return a.lo < b.lo; });
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].lo <= out[w].hi + width) {
+      out[w].hi = std::max(out[w].hi, out[i].hi);
+    } else {
+      out[++w] = out[i];
+    }
+  }
+  if (!out.empty()) out.resize(w + 1);
+  return out;
+}
 }  // namespace
 
 float bce_loss(float prob, float target) {
@@ -22,7 +58,7 @@ float bce_loss(float prob, float target) {
 }
 
 ByteConvNet::ByteConvNet(const ByteConvConfig& cfg, std::uint64_t seed)
-    : cfg_(cfg) {
+    : cfg_(cfg), incremental_(incremental_default()) {
   const int d = cfg_.embed_dim;
   const int F = cfg_.filters;
   const int W = cfg_.width;
@@ -55,7 +91,11 @@ ByteConvNet::ByteConvNet(const ByteConvConfig& cfg, std::uint64_t seed)
 }
 
 ByteConvNet::ByteConvNet(const ByteConvNet& other)
-    : cfg_(other.cfg_), params_(other.params_) {
+    : cfg_(other.cfg_),
+      params_(other.params_),
+      incremental_(other.incremental_) {
+  // The activation caches are deliberately not copied: the clone starts
+  // cache-invalid and its first incremental call runs a full forward.
   // Re-bind the layer pointers into the copied ParamSet (same order as the
   // constructor created them).
   auto& all = params_.all();
@@ -80,53 +120,36 @@ std::size_t ByteConvNet::time_steps(std::size_t n_tokens) const {
 
 float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
   OBS_SCOPE("ml.byteconv.forward");
+  return full_forward(bytes);
+}
+
+void ByteConvNet::conv_row(std::size_t p) {
   const int d = cfg_.embed_dim;
   const int F = cfg_.filters;
-  const int W = cfg_.width;
-  const int S = cfg_.stride;
-  const int H = cfg_.hidden;
-
-  // Tokenize: truncate to L, pad (with the pad token) up to one window.
-  std::size_t n = std::min(bytes.size(), cfg_.max_len);
-  const std::size_t n_tok =
-      std::max<std::size_t>(n, static_cast<std::size_t>(W));
-  tokens_.resize(n_tok);
-  for (std::size_t t = 0; t < n_tok; ++t)
-    tokens_[t] = t < n ? static_cast<int>(bytes[t]) : kPad;
-
-  // Embedding.
-  x_.resize(n_tok * d);
-  for (std::size_t t = 0; t < n_tok; ++t) {
-    const float* row = emb_->w.data() + tokens_[t] * d;
-    std::copy_n(row, d, x_.data() + t * d);
-  }
-
-  // Convolutions + gating.
-  const std::size_t T = time_steps(n_tok);
-  a_.assign(T * F, 0.0f);
-  b_.assign(T * F, 0.0f);
-  h_.assign(T * F, 0.0f);
-  const int window = W * d;
-  for (std::size_t p = 0; p < T; ++p) {
-    const float* win = x_.data() + p * S * d;
-    float* ap = a_.data() + p * F;
-    float* bp = b_.data() + p * F;
-    for (int f = 0; f < F; ++f) {
-      const float* wra = wa_->w.data() + static_cast<std::size_t>(f) * window;
-      const float* wrb = wb_->w.data() + static_cast<std::size_t>(f) * window;
-      float sa = ba_->w[f];
-      float sb = bb_->w[f];
-      for (int i = 0; i < window; ++i) {
-        sa += wra[i] * win[i];
-        sb += wrb[i] * win[i];
-      }
-      ap[f] = sa;
-      bp[f] = sb;
+  const int window = cfg_.width * d;
+  const float* win = x_.data() + p * cfg_.stride * d;
+  float* ap = a_.data() + p * F;
+  float* bp = b_.data() + p * F;
+  for (int f = 0; f < F; ++f) {
+    const float* wra = wa_->w.data() + static_cast<std::size_t>(f) * window;
+    const float* wrb = wb_->w.data() + static_cast<std::size_t>(f) * window;
+    float sa = ba_->w[f];
+    float sb = bb_->w[f];
+    for (int i = 0; i < window; ++i) {
+      sa += wra[i] * win[i];
+      sb += wrb[i] * win[i];
     }
-    float* hp = h_.data() + p * F;
-    for (int f = 0; f < F; ++f)
-      hp[f] = cfg_.gated ? ap[f] * sigmoidf(bp[f]) : std::max(0.0f, ap[f]);
+    ap[f] = sa;
+    bp[f] = sb;
   }
+  float* hp = h_.data() + p * F;
+  for (int f = 0; f < F; ++f)
+    hp[f] = cfg_.gated ? ap[f] * sigmoidf(bp[f]) : std::max(0.0f, ap[f]);
+}
+
+void ByteConvNet::pool_and_head() {
+  const int F = cfg_.filters;
+  const std::size_t T = time_steps(tokens_.size());
 
   // Global channel gating (MalGCG).
   gate_.assign(F, 1.0f);
@@ -159,7 +182,12 @@ float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
     argmax_[f] = bi;
   }
 
-  // Dense head.
+  dense_head();
+}
+
+void ByteConvNet::dense_head() {
+  const int F = cfg_.filters;
+  const int H = cfg_.hidden;
   u_.assign(H, 0.0f);
   for (int i = 0; i < H; ++i) {
     float s = b1_->w[i];
@@ -169,7 +197,235 @@ float ByteConvNet::forward(std::span<const std::uint8_t> bytes) {
   z_ = b2_->w[0];
   for (int i = 0; i < H; ++i) z_ += w2_->w[i] * u_[i];
   prob_ = sigmoidf(z_);
+}
+
+float ByteConvNet::full_forward(std::span<const std::uint8_t> bytes) {
+  static const obs::Counter count_full("ml.forward.full");
+  count_full.inc();
+  const int d = cfg_.embed_dim;
+  const int F = cfg_.filters;
+  const int W = cfg_.width;
+
+  // Tokenize: truncate to L, pad (with the pad token) up to one window.
+  const std::size_t n = std::min(bytes.size(), cfg_.max_len);
+  const std::size_t n_tok =
+      std::max<std::size_t>(n, static_cast<std::size_t>(W));
+  tokens_.resize(n_tok);
+  for (std::size_t t = 0; t < n_tok; ++t)
+    tokens_[t] = t < n ? static_cast<int>(bytes[t]) : kPad;
+
+  // Embedding.
+  x_.resize(n_tok * d);
+  for (std::size_t t = 0; t < n_tok; ++t) {
+    const float* row = emb_->w.data() + tokens_[t] * d;
+    std::copy_n(row, d, x_.data() + t * d);
+  }
+
+  // Convolutions + gating.
+  const std::size_t T = time_steps(n_tok);
+  a_.assign(T * F, 0.0f);
+  b_.assign(T * F, 0.0f);
+  h_.assign(T * F, 0.0f);
+  for (std::size_t p = 0; p < T; ++p) conv_row(p);
+
+  pool_and_head();
+
+  cache_valid_ = true;
+  cache_n_ = n;
+  cache_version_ = params_.version();
   return prob_;
+}
+
+bool ByteConvNet::cache_usable(std::size_t n, std::size_t n_tok) const {
+  return cache_valid_ && n == cache_n_ && n_tok == tokens_.size() &&
+         cache_version_ == params_.version();
+}
+
+float ByteConvNet::apply_delta(std::span<const std::uint8_t> bytes,
+                               std::span<const ByteRange> ranges) {
+  OBS_SCOPE("ml.forward_delta");
+  static const obs::Counter count_delta("ml.forward.delta");
+  count_delta.inc();
+  const int d = cfg_.embed_dim;
+  const int F = cfg_.filters;
+  const int W = cfg_.width;
+  const int S = cfg_.stride;
+  const std::size_t T = time_steps(tokens_.size());
+
+  // Re-tokenize + re-embed the dirty positions (identical copy of the
+  // embedding row, so unchanged-value writes stay bitwise stable).
+  for (const ByteRange& r : ranges) {
+    for (std::size_t t = r.lo; t < r.hi; ++t) {
+      tokens_[t] = static_cast<int>(bytes[t]);
+      const float* row = emb_->w.data() + tokens_[t] * d;
+      std::copy_n(row, d, x_.data() + t * d);
+    }
+  }
+
+  // Dirty byte range -> overlapping timesteps: window p covers positions
+  // [p*S, p*S + W), so it overlaps [lo, hi) iff p*S < hi and p*S + W > lo.
+  std::vector<ByteRange> tranges;
+  tranges.reserve(ranges.size());
+  for (const ByteRange& r : ranges) {
+    const std::size_t p_lo =
+        r.lo >= static_cast<std::size_t>(W)
+            ? (r.lo - static_cast<std::size_t>(W)) / S + 1
+            : 0;
+    const std::size_t p_hi = std::min(T, (r.hi - 1) / S + 1);
+    if (p_lo < p_hi) tranges.push_back({p_lo, p_hi});
+  }
+  // normalize_ranges already coalesced byte ranges with gap <= W, so the
+  // timestep ranges are sorted; merge any residual overlap.
+  std::size_t w = 0;
+  for (std::size_t i = 1; i < tranges.size(); ++i) {
+    if (tranges[i].lo <= tranges[w].hi) {
+      tranges[w].hi = std::max(tranges[w].hi, tranges[i].hi);
+    } else {
+      tranges[++w] = tranges[i];
+    }
+  }
+  if (!tranges.empty()) tranges.resize(w + 1);
+
+  for (const ByteRange& tr : tranges)
+    for (std::size_t p = tr.lo; p < tr.hi; ++p) conv_row(p);
+
+  if (cfg_.channel_gating) {
+    // Any h row perturbs the mean-pooled context and hence every gate, so
+    // every pooled value moves: recompute gating + pool + head outright.
+    // The conv above is ~W*d times the cost of this scan, so the delta
+    // still pays off; the full-order recompute keeps bitwise equality.
+    pool_and_head();
+    return prob_;
+  }
+
+  // Incremental max-pool repair. For each filter, the cached argmax is
+  // still the max over every non-dirty timestep; only if its own value
+  // decreased can the max hide among non-dirty timesteps, forcing a full
+  // rescan (same comparison order as pool_and_head, hence bitwise equal).
+  // The `==`+earlier-index tie rule reproduces the full scan's first-max
+  // semantics: a non-dirty timestep tied with the cached max can only sit
+  // *after* the cached argmax (it lost the original scan), so dirty
+  // candidates decide every tie that can change the winner.
+  const auto in_dirty = [&tranges](int p) {
+    for (const ByteRange& tr : tranges)
+      if (static_cast<std::size_t>(p) >= tr.lo &&
+          static_cast<std::size_t>(p) < tr.hi)
+        return true;
+    return false;
+  };
+  for (int f = 0; f < F; ++f) {
+    float best = pooled_[f];
+    int bi = argmax_[f];
+    bool rescan = bi < 0;
+    if (!rescan && in_dirty(bi)) {
+      const float v = h_[static_cast<std::size_t>(bi) * F + f] * gate_[f];
+      if (v < pooled_[f]) {
+        rescan = true;  // previous argmax decreased: max may be anywhere
+      } else {
+        best = v;
+      }
+    }
+    if (rescan) {
+      best = -1e30f;
+      bi = -1;
+      for (std::size_t p = 0; p < T; ++p) {
+        const float v = h_[p * F + f] * gate_[f];
+        if (v > best) {
+          best = v;
+          bi = static_cast<int>(p);
+        }
+      }
+      pooled_[f] = T > 0 ? best : 0.0f;
+      argmax_[f] = bi;
+      continue;
+    }
+    for (const ByteRange& tr : tranges) {
+      for (std::size_t p = tr.lo; p < tr.hi; ++p) {
+        const float v = h_[p * F + f] * gate_[f];
+        if (v > best || (v == best && static_cast<int>(p) < bi)) {
+          best = v;
+          bi = static_cast<int>(p);
+        }
+      }
+    }
+    pooled_[f] = best;
+    argmax_[f] = bi;
+  }
+
+  dense_head();
+  return prob_;
+}
+
+float ByteConvNet::forward_delta(std::span<const std::uint8_t> bytes,
+                                 std::span<const ByteRange> dirty) {
+  const std::size_t n = std::min(bytes.size(), cfg_.max_len);
+  const std::size_t n_tok =
+      std::max<std::size_t>(n, static_cast<std::size_t>(cfg_.width));
+  if (!incremental_ || !cache_usable(n, n_tok)) return forward(bytes);
+  const std::vector<ByteRange> ranges =
+      normalize_ranges(dirty, n, static_cast<std::size_t>(cfg_.width));
+  // A dirty set covering most timesteps recomputes nearly everything; the
+  // straight full forward is then cheaper than delta bookkeeping.
+  std::size_t dirty_bytes = 0;
+  for (const ByteRange& r : ranges) dirty_bytes += r.hi - r.lo;
+  if (dirty_bytes * 2 > n_tok) return forward(bytes);
+  return apply_delta(bytes, ranges);
+}
+
+float ByteConvNet::forward_auto(std::span<const std::uint8_t> bytes) {
+  const std::size_t n = std::min(bytes.size(), cfg_.max_len);
+  const std::size_t n_tok =
+      std::max<std::size_t>(n, static_cast<std::size_t>(cfg_.width));
+  if (!incremental_ || !cache_usable(n, n_tok)) return forward(bytes);
+
+  // Diff the new buffer against the cached token stream. Positions in
+  // [n, n_tok) are padding and cannot differ (n matches the cache).
+  std::vector<ByteRange> ranges;
+  const std::size_t gap = cfg_.width;  // coalesce nearby edits
+  std::size_t dirty_bytes = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (tokens_[t] == static_cast<int>(bytes[t])) continue;
+    std::size_t end = t + 1;
+    if (!ranges.empty() && t <= ranges.back().hi + gap) {
+      dirty_bytes += end - ranges.back().hi;
+      ranges.back().hi = end;
+    } else {
+      ranges.push_back({t, end});
+      ++dirty_bytes;
+    }
+    if (dirty_bytes * 2 > n_tok) return forward(bytes);
+  }
+  if (ranges.empty()) {
+    static const obs::Counter count_cached("ml.forward.cached");
+    count_cached.inc();
+    return prob_;  // byte-identical to the cached input
+  }
+  return apply_delta(bytes, ranges);
+}
+
+std::vector<float> ByteConvNet::score_deltas(
+    std::span<const std::uint8_t> base, std::span<const ByteEdit> edits) {
+  std::vector<float> out;
+  out.reserve(edits.size());
+  // Establish (or cheaply re-verify) the cached baseline, then walk the
+  // candidates: each forward_delta declares both the previous edit's range
+  // (reverted) and the current one, so the cache always chases the scratch
+  // buffer. On exit the cache is rolled back to `base` bit-for-bit.
+  util::ByteBuf scratch(base.begin(), base.end());
+  forward_auto(base);
+  ByteRange prev{0, 0};
+  for (const ByteEdit& e : edits) {
+    const std::size_t lo = std::min(e.offset, scratch.size());
+    const std::size_t hi = std::min(e.offset + e.bytes.size(), scratch.size());
+    if (hi > lo) std::copy_n(e.bytes.data(), hi - lo, scratch.data() + lo);
+    const ByteRange cur{lo, hi};
+    const ByteRange dirty[2] = {prev, cur};
+    out.push_back(forward_delta(scratch, dirty));
+    if (hi > lo) std::copy_n(base.data() + lo, hi - lo, scratch.data() + lo);
+    prev = cur;
+  }
+  if (prev.lo < prev.hi) forward_delta(base, {&prev, 1});
+  return out;
 }
 
 float ByteConvNet::backward(float target, std::vector<float>* input_grad,
@@ -309,6 +565,7 @@ void ByteConvNet::clamp_nonneg() {
   if (!cfg_.nonneg) return;
   for (Param* p : {w1_, w2_})
     for (float& w : p->w) w = std::max(0.0f, w);
+  params_.bump_version();
 }
 
 void ByteConvNet::save(util::Archive& ar) const {

@@ -17,6 +17,7 @@ void ParamSet::load(util::Unarchive& ar) {
       throw util::ParseError("params: layout mismatch at " + name);
     p->w = std::move(w);
   }
+  bump_version();
 }
 
 Adam::Adam(ParamSet& params, float lr, float beta1, float beta2, float eps)
@@ -44,6 +45,7 @@ void Adam::step() {
     }
     std::fill(p.g.begin(), p.g.end(), 0.0f);
   }
+  params_.bump_version();
 }
 
 }  // namespace mpass::ml

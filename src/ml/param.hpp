@@ -27,6 +27,13 @@ struct Param {
 };
 
 /// Registry of a model's parameters.
+///
+/// The set carries a monotonically increasing *version*: every code path
+/// that mutates weights (Adam::step, load, init_gaussian, owners' manual
+/// clamps) bumps it, and consumers that cache activations keyed on the
+/// weights (ByteConvNet's incremental forward) compare versions to detect
+/// staleness. Code that pokes `w` directly (numeric gradient checks) must
+/// call bump_version() afterwards -- or the owning net's caches go stale.
 class ParamSet {
  public:
   /// Registers and returns a new parameter of n elements.
@@ -67,7 +74,12 @@ class ParamSet {
     for (Param* p : params_)
       for (float& w : p->w)
         w = static_cast<float>(rng.gaussian(0.0, scale));
+    bump_version();
   }
+
+  /// Weight-mutation counter (see class comment).
+  std::uint64_t version() const { return version_; }
+  void bump_version() { ++version_; }
 
   void save(util::Archive& ar) const {
     ar.tag("params");
@@ -83,6 +95,7 @@ class ParamSet {
 
  private:
   std::vector<Param*> params_;
+  std::uint64_t version_ = 0;
 };
 
 /// Adam optimizer (the paper's optimizer for perturbation generation; also

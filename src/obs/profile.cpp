@@ -227,11 +227,20 @@ std::string chrome_from_spans(const std::vector<SpanProfileRow>& rows) {
 ProfCompareResult compare_profiles(const Json& base, const Json& cur,
                                    const ProfCompareOptions& opts) {
   ProfCompareResult res;
+  // --only <bench> / --wall-only narrow the comparison (the CI micro gate
+  // enforces bench_micro wall-ms while the full-grid benches stay warn-only).
+  const auto selected = [&opts](const Series& s) {
+    if (opts.wall_only && s.kind != "bench-wall") return false;
+    if (opts.only_bench.empty()) return true;
+    if (s.kind == "bench-wall") return s.name == opts.only_bench;
+    return s.name.compare(0, opts.only_bench.size() + 1,
+                          opts.only_bench + ":") == 0;
+  };
   std::map<std::string, Series> base_by_name, cur_by_name;
   for (Series& s : collect_series(base))
-    base_by_name.emplace(s.kind + "|" + s.name, std::move(s));
+    if (selected(s)) base_by_name.emplace(s.kind + "|" + s.name, std::move(s));
   for (Series& s : collect_series(cur))
-    cur_by_name.emplace(s.kind + "|" + s.name, std::move(s));
+    if (selected(s)) cur_by_name.emplace(s.kind + "|" + s.name, std::move(s));
 
   for (const auto& [key, b] : base_by_name) {
     const auto it = cur_by_name.find(key);

@@ -57,6 +57,8 @@ std::string chrome_from_spans(const std::vector<SpanProfileRow>& rows);
 struct ProfCompareOptions {
   double threshold = 0.20;  // fail when cur > base * (1 + threshold)
   double min_ms = 10.0;     // ignore series where max(base, cur) < min_ms
+  std::string only_bench;   // non-empty: compare only this bench's series
+  bool wall_only = false;   // compare bench wall-ms, skip per-span self-ms
 };
 
 struct ProfDelta {

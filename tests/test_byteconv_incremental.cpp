@@ -1,0 +1,240 @@
+// Differential tests for ByteConvNet's incremental forward (ISSUE 5): every
+// delta entry point must agree with the full forward *bitwise* (EXPECT_EQ on
+// floats, no tolerance) -- window-straddling edits, truncation-boundary
+// edits at max_len, empty deltas, cache invalidation on weight updates, and
+// the batched score_deltas candidate path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/byteconv.hpp"
+#include "util/rng.hpp"
+
+namespace mpass::ml {
+namespace {
+
+using util::ByteBuf;
+
+ByteConvConfig small_config() {
+  ByteConvConfig cfg;
+  cfg.max_len = 1024;
+  cfg.embed_dim = 4;
+  cfg.filters = 8;
+  cfg.width = 16;
+  cfg.stride = 8;
+  cfg.hidden = 6;
+  return cfg;
+}
+
+std::vector<ByteConvConfig> all_variants() {
+  std::vector<ByteConvConfig> out;
+  ByteConvConfig gated = small_config();
+  out.push_back(gated);
+  ByteConvConfig relu = small_config();
+  relu.gated = false;
+  out.push_back(relu);
+  ByteConvConfig gcg = small_config();
+  gcg.channel_gating = true;
+  out.push_back(gcg);
+  ByteConvConfig nonneg = small_config();
+  nonneg.nonneg = true;
+  out.push_back(nonneg);
+  return out;
+}
+
+/// Applies `edit` at `pos` and checks forward_delta and forward_auto both
+/// match a full-forward reference net with identical parameters.
+void expect_delta_matches(ByteConvNet& inc, ByteConvNet& ref, const ByteBuf& buf,
+                          std::size_t lo, std::size_t hi) {
+  const ByteRange dirty{lo, hi};
+  const float d = inc.forward_delta(buf, {&dirty, 1});
+  const float f = ref.forward(buf);
+  EXPECT_EQ(d, f) << "forward_delta range [" << lo << "," << hi << ")";
+  EXPECT_EQ(inc.forward_auto(buf), f);
+}
+
+TEST(ByteConvIncremental, RandomWindowEditsBitwiseEqualAllVariants) {
+  for (const ByteConvConfig& cfg : all_variants()) {
+    ByteConvNet inc(cfg, 11);
+    ByteConvNet ref(inc);
+    inc.set_incremental(true);
+    ref.set_incremental(false);
+
+    util::Rng rng(42);
+    // Sizes around every boundary: empty, < width, == width, < max_len,
+    // == max_len, and > max_len (truncation).
+    for (const std::size_t size :
+         {std::size_t{0}, std::size_t{7}, std::size_t{16}, std::size_t{300},
+          cfg.max_len, cfg.max_len + 512}) {
+      ByteBuf buf = rng.bytes(size);
+      EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf)) << "size " << size;
+      if (size == 0) continue;
+      for (int i = 0; i < 20; ++i) {
+        const std::size_t pos = rng.below(buf.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.below(48), buf.size() - pos);
+        for (std::size_t j = 0; j < len; ++j) buf[pos + j] = rng.byte();
+        expect_delta_matches(inc, ref, buf, pos, pos + len);
+      }
+    }
+  }
+}
+
+TEST(ByteConvIncremental, WindowStraddlingAndTruncationBoundary) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet inc(cfg, 3);
+  ByteConvNet ref(inc);
+  ref.set_incremental(false);
+  util::Rng rng(9);
+  ByteBuf buf = rng.bytes(cfg.max_len + 256);
+
+  EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf));
+  const std::size_t W = static_cast<std::size_t>(cfg.width);
+  // Edits placed to straddle conv-window and stride boundaries, plus edits
+  // straddling and entirely past the max_len truncation point.
+  const std::size_t spots[] = {0,
+                               W - 1,
+                               W,
+                               W + 1,
+                               5 * W - 2,
+                               cfg.max_len - W / 2,   // straddles truncation
+                               cfg.max_len,           // entirely truncated
+                               cfg.max_len + 100};
+  for (const std::size_t pos : spots) {
+    const std::size_t len = std::min<std::size_t>(W, buf.size() - pos);
+    for (std::size_t j = 0; j < len; ++j) buf[pos + j] = rng.byte();
+    expect_delta_matches(inc, ref, buf, pos, pos + len);
+  }
+}
+
+TEST(ByteConvIncremental, EmptyAndNoopDeltas) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet inc(cfg, 5);
+  ByteConvNet ref(inc);
+  ref.set_incremental(false);
+  util::Rng rng(17);
+  const ByteBuf buf = rng.bytes(700);
+
+  const float base = ref.forward(buf);
+  EXPECT_EQ(inc.forward_auto(buf), base);
+  // Empty dirty set.
+  EXPECT_EQ(inc.forward_delta(buf, {}), base);
+  // Empty range and a range declared dirty whose bytes did not change
+  // (unchanged-value writes must stay bitwise stable).
+  const ByteRange empty{40, 40};
+  EXPECT_EQ(inc.forward_delta(buf, {&empty, 1}), base);
+  const ByteRange noop{100, 180};
+  EXPECT_EQ(inc.forward_delta(buf, {&noop, 1}), base);
+  // Unchanged buffer through the auto path hits the cache.
+  EXPECT_EQ(inc.forward_auto(buf), base);
+}
+
+TEST(ByteConvIncremental, WholeBufferDirtyFallsBackToFull) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet inc(cfg, 5);
+  ByteConvNet ref(inc);
+  ref.set_incremental(false);
+  util::Rng rng(23);
+  ByteBuf buf = rng.bytes(800);
+  EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf));
+  for (auto& x : buf) x = rng.byte();
+  const ByteRange all{0, buf.size()};
+  EXPECT_EQ(inc.forward_delta(buf, {&all, 1}), ref.forward(buf));
+}
+
+TEST(ByteConvIncremental, CumulativeChainedDeltas) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet inc(cfg, 29);
+  ByteConvNet ref(inc);
+  ref.set_incremental(false);
+  util::Rng rng(31);
+  ByteBuf buf = rng.bytes(900);
+  EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf));
+  // Long chains of deltas must not drift: each step reconvolves only its
+  // own windows yet the state stays bitwise equal to from-scratch forwards.
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pos = rng.below(buf.size());
+    buf[pos] = rng.byte();
+    expect_delta_matches(inc, ref, buf, pos, pos + 1);
+  }
+}
+
+TEST(ByteConvIncremental, ParamUpdateInvalidatesCache) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet inc(cfg, 37);
+  ByteConvNet ref(inc);
+  ref.set_incremental(false);
+  util::Rng rng(41);
+  const ByteBuf buf = rng.bytes(600);
+  EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf));
+
+  // An Adam step moves the weights of both nets identically; the cached
+  // activations are stale and must not be served.
+  auto train_step = [&](ByteConvNet& net) {
+    net.params().zero_grad();
+    net.forward(buf);
+    net.backward(/*target=*/1.0f, nullptr, /*accumulate_params=*/true);
+    Adam opt(net.params(), 1e-2f);
+    opt.step();
+  };
+  train_step(inc);
+  train_step(ref);
+  EXPECT_EQ(inc.forward_auto(buf), ref.forward(buf))
+      << "stale cache served after a weight update";
+}
+
+TEST(ByteConvIncremental, ScoreDeltasMatchesIndependentFullForwards) {
+  for (const ByteConvConfig& cfg : all_variants()) {
+    ByteConvNet inc(cfg, 43);
+    ByteConvNet ref(inc);
+    ref.set_incremental(false);
+    util::Rng rng(47);
+    const ByteBuf base = rng.bytes(cfg.max_len);
+    const float base_score = ref.forward(base);
+
+    std::vector<ByteBuf> payloads(12);
+    std::vector<ByteEdit> edits;
+    for (ByteBuf& p : payloads) {
+      p = rng.bytes(1 + rng.below(64));
+      edits.push_back({rng.below(base.size()), p});
+    }
+    // Out-of-range edit: clamped to a no-op tail write.
+    payloads.push_back(rng.bytes(32));
+    edits.push_back({base.size() - 8, payloads.back()});
+
+    const std::vector<float> got = inc.score_deltas(base, edits);
+    ASSERT_EQ(got.size(), edits.size());
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+      ByteBuf variant = base;
+      const std::size_t lo = std::min(edits[i].offset, variant.size());
+      const std::size_t hi =
+          std::min(edits[i].offset + edits[i].bytes.size(), variant.size());
+      for (std::size_t j = lo; j < hi; ++j)
+        variant[j] = edits[i].bytes[j - lo];
+      EXPECT_EQ(got[i], ref.forward(variant)) << "edit " << i;
+    }
+    // The cache must be rolled back to the unedited base afterwards.
+    EXPECT_EQ(inc.forward_auto(base), base_score);
+  }
+}
+
+TEST(ByteConvIncremental, DisabledIncrementalAlwaysRunsFull) {
+  const ByteConvConfig cfg = small_config();
+  ByteConvNet a(cfg, 53);
+  ByteConvNet b(a);
+  a.set_incremental(false);
+  b.set_incremental(true);
+  EXPECT_FALSE(a.incremental());
+  EXPECT_TRUE(b.incremental());
+  util::Rng rng(59);
+  ByteBuf buf = rng.bytes(512);
+  for (int i = 0; i < 8; ++i) {
+    buf[rng.below(buf.size())] = rng.byte();
+    EXPECT_EQ(a.forward_auto(buf), b.forward_auto(buf));
+    const ByteRange whole{0, buf.size()};
+    EXPECT_EQ(a.forward_delta(buf, {&whole, 1}), b.forward(buf));
+  }
+}
+
+}  // namespace
+}  // namespace mpass::ml

@@ -7,6 +7,7 @@
 #include "detectors/models.hpp"
 #include "detectors/training.hpp"
 #include "isa/isa.hpp"
+#include "util/hashing.hpp"
 #include "vm/sandbox.hpp"
 
 namespace mpass::core {
@@ -216,17 +217,81 @@ class TinyNetFixture : public ::testing::Test {
   std::unique_ptr<detect::ByteConvDetector> det_;
 };
 
-TEST_F(TinyNetFixture, OptimizerStepNeverIncreasesEnsembleLoss) {
+TEST_F(TinyNetFixture, OptimizerStepReturnsLossOfKeptState) {
   const ByteBuf orig = corpus::make_malware(888).bytes();
   util::Rng rng(37);
   ModifiedSample mod =
       apply_modification(orig, donor_bytes(), ModificationConfig{}, rng);
   EnsembleOptimizer opt({&det_->net()});
-  float prev = opt.ensemble_loss(mod.bytes);
+  const float initial = opt.ensemble_loss(mod.bytes);
+  float best = initial;
   for (int i = 0; i < 4; ++i) {
     const float loss = opt.step(mod);
-    EXPECT_LE(loss, prev + 1e-3f);
-    prev = loss;
+    // The returned loss must describe the exact byte state step() left
+    // behind -- it used to report a stale base loss when the exploratory
+    // fallback fired (loss can legitimately *increase* on such steps).
+    EXPECT_EQ(loss, opt.ensemble_loss(mod.bytes));
+    best = std::min(best, loss);
+  }
+  // Weak progress: the best state seen is no worse than the start.
+  EXPECT_LE(best, initial + 1e-3f);
+}
+
+TEST_F(TinyNetFixture, SetByteRollbackRestoresExactBytes) {
+  const ByteBuf orig = corpus::make_malware(887).bytes();
+  util::Rng rng(53);
+  ModifiedSample mod =
+      apply_modification(orig, donor_bytes(), ModificationConfig{}, rng);
+  ASSERT_FALSE(mod.perturbable.empty());
+  const std::uint64_t before = util::fnv1a64(mod.bytes);
+
+  // Apply a burst of random writes (recording prior values), then roll them
+  // back in reverse: the sample must be digest-identical, including every
+  // key-coupled byte set_byte co-updates. This is the invariant the
+  // optimizer's line-search rollback (a rejected proposal) relies on.
+  struct Write {
+    std::uint32_t pos;
+    std::uint8_t old_value;
+  };
+  std::vector<Write> writes;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t p = mod.perturbable[rng.below(mod.perturbable.size())];
+    writes.push_back({p, mod.bytes[p]});
+    mod.set_byte(p, rng.byte());
+  }
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it)
+    mod.set_byte(it->pos, it->old_value);
+  EXPECT_EQ(util::fnv1a64(mod.bytes), before);
+}
+
+TEST_F(TinyNetFixture, OptimizerIncrementalMatchesFullRecompute) {
+  // Two identical nets and samples; one optimizer runs the incremental
+  // line search, the other the MPASS_NO_INCREMENTAL escape hatch. Byte
+  // digests and returned losses must agree exactly at every step.
+  ml::ByteConvNet full_net(det_->net());
+  full_net.set_incremental(false);
+
+  const ByteBuf orig = corpus::make_malware(886).bytes();
+  auto make_mod = [&] {
+    util::Rng rng(61);
+    return apply_modification(orig, donor_bytes(), ModificationConfig{}, rng);
+  };
+  ModifiedSample inc_mod = make_mod();
+  ModifiedSample full_mod = make_mod();
+  ASSERT_EQ(util::fnv1a64(inc_mod.bytes), util::fnv1a64(full_mod.bytes));
+
+  EnsembleOptimizer inc_opt({&det_->net()});
+  inc_opt.set_incremental(true);
+  EnsembleOptimizer full_opt({&full_net});
+  full_opt.set_incremental(false);
+  ASSERT_FALSE(full_opt.incremental());
+
+  for (int i = 0; i < 4; ++i) {
+    const float inc_loss = inc_opt.step(inc_mod);
+    const float full_loss = full_opt.step(full_mod);
+    EXPECT_EQ(inc_loss, full_loss) << "step " << i;
+    EXPECT_EQ(util::fnv1a64(inc_mod.bytes), util::fnv1a64(full_mod.bytes))
+        << "step " << i;
   }
 }
 

@@ -81,10 +81,11 @@ int cmd_run(int argc, char** argv) {
   obs::flush_profile();
   std::printf(
       "fuzz: %zu iterations (seed %llu): parse ok %zu / rejected %zu, "
-      "%zu stub checks, %zu attack checks, %zu violation(s)\n",
+      "%zu stub checks, %zu attack checks, %zu incremental checks, "
+      "%zu violation(s)\n",
       stats.iterations, static_cast<unsigned long long>(cfg.seed),
       stats.parse_ok, stats.parse_rejected, stats.stub_checks,
-      stats.attack_checks, stats.findings.size());
+      stats.attack_checks, stats.incremental_checks, stats.findings.size());
   for (const fuzz::Finding& f : stats.findings) {
     std::fprintf(stderr, "iter %zu (mutators:", f.iteration);
     for (const std::string& m : f.mutators) std::fprintf(stderr, " %s", m.c_str());

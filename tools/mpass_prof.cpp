@@ -11,10 +11,15 @@
 //                                        bench output
 //   mpass_prof compare <baseline> <current>
 //             [--threshold 0.20] [--min-ms 10] [--warn-only]
+//             [--only <bench>] [--wall-only]
 //                                        compare wall-ms per bench and
 //                                        self-ms per span path against a
 //                                        baseline; exits nonzero when any
-//                                        series regressed past the threshold
+//                                        series regressed past the threshold.
+//                                        --only restricts to one bench and
+//                                        --wall-only skips the per-span
+//                                        series (the enforcing CI micro gate
+//                                        uses both; spans stay warn-only)
 //
 // <file> accepts a spans.json, a BENCH_<name>.json, or a BENCH_SUMMARY.json
 // (compare only). Exit codes: 0 pass, 1 regression/collect failure, 2 usage
@@ -43,7 +48,8 @@ int usage() {
       "       mpass_prof export <spans.json|BENCH_*.json> <out.json>\n"
       "       mpass_prof collect <bench-dir> [--out FILE] [--expect a,b,c]\n"
       "       mpass_prof compare <baseline> <current> [--threshold 0.20]\n"
-      "                  [--min-ms 10] [--warn-only]\n");
+      "                  [--min-ms 10] [--warn-only] [--only <bench>]\n"
+      "                  [--wall-only]\n");
   return 2;
 }
 
@@ -163,6 +169,8 @@ int cmd_compare(int argc, char** argv) {
     opts.threshold = std::strtod(v, nullptr);
   if (const char* v = opt(argc, argv, "--min-ms"))
     opts.min_ms = std::strtod(v, nullptr);
+  if (const char* v = opt(argc, argv, "--only")) opts.only_bench = v;
+  opts.wall_only = flag(argc, argv, "--wall-only");
   if (opts.threshold <= 0.0 || opts.min_ms < 0.0) {
     std::fprintf(stderr, "mpass_prof: bad --threshold/--min-ms\n");
     return 2;
